@@ -1,0 +1,33 @@
+//! Criterion end-to-end benches: one whole-application simulation per
+//! (application, protocol) pair at `Scale::Tiny`.
+//!
+//! These are throughput benches for the *simulator*; the paper's actual
+//! numbers come from the `fig*`/`table*` binaries at `--scale paper`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnuma::config::{MachineConfig, Protocol};
+use rnuma::experiment::run;
+use rnuma_workloads::{by_name, Scale};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apps_tiny");
+    group.sample_size(10);
+    for app in ["em3d", "lu", "moldyn", "barnes"] {
+        for (label, protocol) in [
+            ("ccnuma", Protocol::paper_ccnuma()),
+            ("scoma", Protocol::paper_scoma()),
+            ("rnuma", Protocol::paper_rnuma()),
+        ] {
+            group.bench_function(format!("{app}_{label}"), |b| {
+                b.iter(|| {
+                    let mut w = by_name(app, Scale::Tiny).expect("known app");
+                    run(MachineConfig::paper_base(protocol), &mut w)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(figures, bench_figures);
+criterion_main!(figures);

@@ -1,0 +1,154 @@
+//! Criterion micro-benchmarks for the simulator's hot paths.
+//!
+//! These measure the *simulator's* own performance (host-side), which
+//! bounds how fast the paper's experiments run: cache probes, directory
+//! transactions, page-cache allocation, network sends, and end-to-end
+//! reference throughput on the assembled machine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rnuma::config::{MachineConfig, Protocol};
+use rnuma::machine::Machine;
+use rnuma_mem::addr::{CpuId, NodeId, VBlock, VPage, Va};
+use rnuma_mem::block_cache::{BlockCache, BlockState};
+use rnuma_mem::l1::L1Cache;
+use rnuma_mem::moesi::Moesi;
+use rnuma_mem::page_cache::PageCache;
+use rnuma_net::{MsgKind, NetConfig, Network};
+use rnuma_proto::directory::Directory;
+use rnuma_proto::reactive::RefetchCounters;
+use rnuma_sim::Cycles;
+
+fn bench_l1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l1");
+    group.bench_function("hit_probe", |b| {
+        let mut l1 = L1Cache::new(8 * 1024);
+        l1.fill(VBlock(7), Moesi::Exclusive);
+        b.iter(|| black_box(l1.probe_read(black_box(VBlock(7)))));
+    });
+    group.bench_function("fill_evict_cycle", |b| {
+        let mut l1 = L1Cache::new(8 * 1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(l1.fill(VBlock(i), Moesi::Shared))
+        });
+    });
+    group.finish();
+}
+
+fn bench_block_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_cache");
+    group.bench_function("probe_32k", |b| {
+        let mut bc = BlockCache::direct_mapped(32 * 1024);
+        bc.fill(VBlock(3), BlockState::read_only());
+        b.iter(|| black_box(bc.probe(black_box(VBlock(3)))));
+    });
+    group.bench_function("fill_conflict", |b| {
+        let mut bc = BlockCache::direct_mapped(128);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(bc.fill(VBlock(i), BlockState::read_only()))
+        });
+    });
+    group.finish();
+}
+
+fn bench_page_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_cache");
+    group.bench_function("allocate_lrm_320k", |b| {
+        let mut pc = PageCache::new(320 * 1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(pc.allocate(VPage(i)))
+        });
+    });
+    group.bench_function("tag_probe", |b| {
+        let mut pc = PageCache::new(320 * 1024);
+        pc.allocate(VPage(1));
+        b.iter(|| black_box(pc.tag(black_box(VPage(1)), black_box(5))));
+    });
+    group.finish();
+}
+
+fn bench_directory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("directory");
+    group.bench_function("read_request", |b| {
+        let mut dir = Directory::new(NodeId(0));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(dir.read(VBlock(i % 100_000), NodeId((i % 7 + 1) as u8)))
+        });
+    });
+    group.bench_function("write_with_invalidations", |b| {
+        let mut dir = Directory::new(NodeId(0));
+        for n in 1..8 {
+            dir.read(VBlock(1), NodeId(n));
+        }
+        b.iter(|| black_box(dir.write(black_box(VBlock(1)), NodeId(1), false)));
+    });
+    group.finish();
+}
+
+fn bench_reactive(c: &mut Criterion) {
+    c.bench_function("reactive/record_refetch", |b| {
+        let mut counters = RefetchCounters::new(64);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(counters.record(VPage(i % 1000)))
+        });
+    });
+}
+
+fn bench_network(c: &mut Criterion) {
+    c.bench_function("network/send", |b| {
+        let mut net = Network::new(8, NetConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 500;
+            black_box(net.send(Cycles(t), NodeId(0), NodeId(1), MsgKind::GetShared))
+        });
+    });
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    group.sample_size(20);
+    for (label, protocol) in [
+        ("ccnuma", Protocol::paper_ccnuma()),
+        ("scoma", Protocol::paper_scoma()),
+        ("rnuma", Protocol::paper_rnuma()),
+    ] {
+        group.bench_function(format!("ref_throughput_{label}"), |b| {
+            let mut machine =
+                Machine::new(MachineConfig::paper_base(protocol)).expect("valid");
+            // Pre-home the pages.
+            for p in 0..64u64 {
+                machine.access(CpuId(0), Va(0x10000 + p * 4096), true);
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let cpu = CpuId((i % 32) as u16);
+                let va = Va(0x10000 + (i * 32) % (64 * 4096));
+                black_box(machine.access(cpu, va, i.is_multiple_of(4)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_l1,
+    bench_block_cache,
+    bench_page_cache,
+    bench_directory,
+    bench_reactive,
+    bench_network,
+    bench_machine
+);
+criterion_main!(benches);

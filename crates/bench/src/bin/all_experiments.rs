@@ -1,0 +1,34 @@
+//! Runs every experiment (E1–E9) in order, forwarding `--scale`.
+//!
+//! Equivalent to invoking each per-figure binary; results land in
+//! `results/`.
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 10] = [
+    "table1_model",
+    "table2_costs",
+    "table3_apps",
+    "fig5_pages",
+    "table4_traffic",
+    "fig6_base",
+    "fig7_cache",
+    "fig8_threshold",
+    "fig9_overhead",
+    "ablation_replacement",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let me = std::env::current_exe().expect("current exe path");
+    let bindir = me.parent().expect("exe has a parent dir");
+    for exp in EXPERIMENTS {
+        println!("\n================ {exp} ================");
+        let status = Command::new(bindir.join(exp))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        assert!(status.success(), "{exp} failed");
+    }
+    println!("\nAll experiments complete; see results/ for reports.");
+}

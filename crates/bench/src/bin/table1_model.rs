@@ -1,0 +1,65 @@
+//! E1 — the analytical worst-case model (Section 3.2, EQ 1–3; Table 1).
+//!
+//! Prints the model parameters derived from the Table-2 cost model, the
+//! competitive-ratio curves EQ 1 and EQ 2 over a threshold sweep, their
+//! intersection `T* = C_allocate / C_refetch`, and the worst-case bound
+//! `2 + C_relocate / C_allocate`.
+
+use rnuma::model::ModelParams;
+use rnuma_bench::{save, TextTable};
+use rnuma_os::CostModel;
+
+fn main() {
+    let mut out = String::new();
+    for (label, costs) in [("base", CostModel::base()), ("SOFT", CostModel::soft())] {
+        let p = ModelParams::from_costs(&costs);
+        out.push_str(&format!(
+            "=== {label} system: Cref={:.0} Call={:.0} Crel={:.0} ===\n",
+            p.c_refetch, p.c_allocate, p.c_relocate
+        ));
+        out.push_str(&format!(
+            "optimal threshold T* = Call/Cref = {:.1}\n",
+            p.optimal_threshold()
+        ));
+        out.push_str(&format!(
+            "worst-case bound at T* = 2 + Crel/Call = {:.3}\n\n",
+            p.worst_case_bound()
+        ));
+
+        let mut t = TextTable::new(
+            "      T   EQ1 (vs CC-NUMA)   EQ2 (vs S-COMA)   worst case",
+        );
+        for &threshold in &[1.0, 4.0, 8.0, 16.0, 19.2, 32.0, 64.0, 128.0, 256.0, 1024.0] {
+            t.row(format!(
+                "{threshold:7.1} {:17.3} {:17.3} {:12.3}",
+                p.rnuma_vs_ccnuma(threshold),
+                p.rnuma_vs_scoma(threshold),
+                p.worst_case_at(threshold)
+            ));
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out.push_str(
+        "Paper check: the bound is ~2 for aggressive implementations\n\
+         (Crel << Call) and ~3 for conservative ones (Crel ~= Call); the\n\
+         threshold minimizing the worst case is independent of Crel.\n",
+    );
+    print!("{out}");
+    save("table1_model.txt", &out);
+
+    // CSV series for the curves.
+    let p = ModelParams::from_costs(&CostModel::base());
+    let mut csv = String::from("threshold,eq1_vs_ccnuma,eq2_vs_scoma,worst_case\n");
+    let mut threshold = 1.0;
+    while threshold <= 1024.0 {
+        csv.push_str(&format!(
+            "{threshold},{},{},{}\n",
+            p.rnuma_vs_ccnuma(threshold),
+            p.rnuma_vs_scoma(threshold),
+            p.worst_case_at(threshold)
+        ));
+        threshold *= 2.0;
+    }
+    save("table1_model.csv", &csv);
+}

@@ -1,0 +1,42 @@
+//! E2 — the base system assumptions (Table 2), verified against the
+//! simulator's calibration (uncontended end-to-end latencies).
+
+use rnuma::config::{MachineConfig, Protocol};
+use rnuma::machine::Machine;
+use rnuma_bench::{save, TextTable};
+use rnuma_mem::addr::{CpuId, Va};
+use rnuma_os::CostModel;
+
+fn main() {
+    let costs = CostModel::base();
+    let mut t = TextTable::new("operation                          cost (processor cycles)");
+    t.row(format!("SRAM access                        {}", costs.sram_access.0));
+    t.row(format!("DRAM access                        {}", costs.dram_access.0));
+    t.row(format!("local cache fill                   {}", costs.local_cache_fill.0));
+    t.row(format!("remote fetch                       {}", costs.remote_fetch.0));
+    t.row(format!("soft trap                          {}", costs.soft_trap.0));
+    t.row(format!("TLB shootdown                      {}", costs.tlb_shootdown.0));
+    t.row(format!(
+        "page allocation/replacement        {}~{}",
+        costs.page_allocation(0).0,
+        costs.page_allocation(128).0
+    ));
+    let mut out = t.render();
+
+    // Calibration: measure the same quantities end-to-end on the
+    // simulated machine.
+    let mut m = Machine::new(MachineConfig::paper_base(Protocol::paper_ccnuma()))
+        .expect("paper config is valid");
+    m.access(CpuId(0), Va(0x4000), false); // home page at node 0
+    m.access(CpuId(4), Va(0x4000), false); // map on node 1
+    m.barrier_all();
+    let local = m.access(CpuId(0), Va(0x4020), false);
+    m.barrier_all();
+    let remote = m.access(CpuId(4), Va(0x4040), false);
+    out.push_str(&format!(
+        "\nmeasured on the simulator (uncontended):\n\
+         local cache fill = {local}\nremote fetch     = {remote}\n"
+    ));
+    print!("{out}");
+    save("table2_costs.txt", &out);
+}

@@ -1,0 +1,179 @@
+//! Experiment harness for the R-NUMA reproduction.
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §5):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1_model` | §3.2 analytical model (EQ 1–3, Table 1 parameters) |
+//! | `table2_costs` | Table 2 (base system latencies) |
+//! | `table3_apps` | Table 3 (application inventory) |
+//! | `fig5_pages` | Figure 5 (refetch CDF over remote pages) |
+//! | `table4_traffic` | Table 4 (RW-page refetches; R-NUMA traffic ratios) |
+//! | `fig6_base` | Figure 6 (base-system execution times) |
+//! | `fig7_cache` | Figure 7 (cache-size sensitivity) |
+//! | `fig8_threshold` | Figure 8 (relocation-threshold sensitivity) |
+//! | `fig9_overhead` | Figure 9 (page-fault/TLB overhead sensitivity) |
+//! | `all_experiments` | everything above, in order |
+//!
+//! Every binary accepts `--scale paper|small|tiny` (default `paper`) and
+//! writes both a text report to stdout and machine-readable CSV under
+//! `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rnuma::config::{MachineConfig, Protocol};
+use rnuma::experiment::{run, RunReport};
+use rnuma_workloads::{by_name, Scale, APP_NAMES};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Parses `--scale` from argv; defaults to the paper's inputs.
+///
+/// # Panics
+///
+/// Panics with a usage message on an unknown scale name.
+#[must_use]
+pub fn parse_scale(args: &[String]) -> Scale {
+    match args.iter().position(|a| a == "--scale") {
+        None => Scale::Paper,
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("paper") => Scale::Paper,
+            Some("small") => Scale::Small,
+            Some("tiny") => Scale::Tiny,
+            other => panic!("usage: --scale paper|small|tiny (got {other:?})"),
+        },
+    }
+}
+
+/// Returns the `results/` directory, creating it if needed.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("RNUMA_RESULTS_DIR")
+        .map_or_else(|_| PathBuf::from("results"), PathBuf::from);
+    std::fs::create_dir_all(&dir).expect("cannot create results directory");
+    dir
+}
+
+/// Writes `content` to `results/<name>` and echoes the path.
+///
+/// # Panics
+///
+/// Panics on I/O errors.
+pub fn save(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    std::fs::write(&path, content).expect("cannot write results file");
+    println!("[saved {}]", path.display());
+}
+
+/// Runs one `(application, protocol)` pair at `scale`.
+///
+/// # Panics
+///
+/// Panics if `app` is not a Table-3 application.
+#[must_use]
+pub fn run_app(app: &str, protocol: Protocol, scale: Scale) -> RunReport {
+    let mut workload = by_name(app, scale).unwrap_or_else(|| panic!("unknown app {app}"));
+    run(MachineConfig::paper_base(protocol), &mut workload)
+}
+
+/// Runs one app on a custom machine configuration.
+///
+/// # Panics
+///
+/// Panics if `app` is not a Table-3 application.
+#[must_use]
+pub fn run_app_config(app: &str, config: MachineConfig, scale: Scale) -> RunReport {
+    let mut workload = by_name(app, scale).unwrap_or_else(|| panic!("unknown app {app}"));
+    run(config, &mut workload)
+}
+
+/// All Table-3 application names.
+#[must_use]
+pub fn apps() -> &'static [&'static str] {
+    &APP_NAMES
+}
+
+/// Renders a unit-scaled horizontal ASCII bar.
+#[must_use]
+pub fn bar(value: f64, per_unit: f64, max_width: usize) -> String {
+    let width = ((value * per_unit).round() as usize).min(max_width);
+    "#".repeat(width)
+}
+
+/// A tiny fixed-width table builder for the text reports.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: String,
+    rows: Vec<String>,
+}
+
+impl TextTable {
+    /// Starts a table with a preformatted header line.
+    #[must_use]
+    pub fn new(header: &str) -> TextTable {
+        TextTable {
+            header: header.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a preformatted row.
+    pub fn row(&mut self, row: String) {
+        self.rows.push(row);
+    }
+
+    /// Renders header, separator, and rows.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header);
+        let _ = writeln!(out, "{}", "-".repeat(self.header.len().min(100)));
+        for r in &self.rows {
+            let _ = writeln!(out, "{r}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        let args = |s: &str| vec!["prog".to_string(), "--scale".to_string(), s.to_string()];
+        assert_eq!(parse_scale(&args("tiny")), Scale::Tiny);
+        assert_eq!(parse_scale(&args("small")), Scale::Small);
+        assert_eq!(parse_scale(&args("paper")), Scale::Paper);
+        assert_eq!(parse_scale(&["prog".to_string()]), Scale::Paper);
+    }
+
+    #[test]
+    fn bar_widths() {
+        assert_eq!(bar(1.0, 10.0, 40), "##########");
+        assert_eq!(bar(10.0, 10.0, 40), "#".repeat(40));
+        assert_eq!(bar(0.0, 10.0, 40), "");
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let mut t = TextTable::new("a  b");
+        t.row("1  2".into());
+        t.row("3  4".into());
+        let s = t.render();
+        assert!(s.contains("a  b"));
+        assert!(s.contains("1  2") && s.contains("3  4"));
+    }
+
+    #[test]
+    fn run_app_smoke() {
+        let r = run_app("moldyn", Protocol::ideal(), Scale::Tiny);
+        assert!(r.cycles() > 0);
+        assert_eq!(r.workload, "moldyn");
+    }
+}

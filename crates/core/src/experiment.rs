@@ -1,0 +1,160 @@
+//! One-call experiment execution.
+//!
+//! The paper's figures all follow the same recipe: run an application on
+//! several machine configurations and report execution times normalized
+//! to the ideal CC-NUMA (infinite block cache). [`run`] performs one
+//! such run; [`run_normalized`] performs a batch against the ideal
+//! baseline.
+
+use crate::config::MachineConfig;
+use crate::machine::Machine;
+use crate::metrics::Metrics;
+use crate::program::{Runner, Workload};
+
+/// The result of one (configuration, workload) simulation.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The application's name.
+    pub workload: &'static str,
+    /// Protocol label ("CC-NUMA", "S-COMA", "R-NUMA", "ideal").
+    pub protocol: &'static str,
+    /// The configuration that ran.
+    pub config: MachineConfig,
+    /// Everything measured.
+    pub metrics: Metrics,
+}
+
+impl RunReport {
+    /// Execution time in cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.metrics.exec_cycles.0
+    }
+}
+
+/// Runs `workload` once on a machine built from `config`.
+///
+/// The run is deterministic: identical `(config, workload)` pairs give
+/// bit-identical metrics.
+///
+/// # Panics
+///
+/// Panics if `config` fails validation — experiment configurations are
+/// produced by code, not user input, so this is a programming error.
+pub fn run<W: Workload + ?Sized>(config: MachineConfig, workload: &mut W) -> RunReport {
+    let mut machine = Machine::new(config).expect("experiment configs must be valid");
+    {
+        let mut runner = Runner::new(&mut machine);
+        workload.run(&mut runner);
+    }
+    RunReport {
+        workload: workload.name(),
+        protocol: config.protocol.label(),
+        config,
+        metrics: machine.metrics(),
+    }
+}
+
+/// A report together with its execution time normalized to a baseline.
+#[derive(Clone, Debug)]
+pub struct NormalizedReport {
+    /// The underlying run.
+    pub report: RunReport,
+    /// `report` execution time divided by the baseline's.
+    pub normalized_time: f64,
+}
+
+/// Runs `workload` on each configuration and normalizes execution times
+/// to the first configuration in `configs` (conventionally the ideal
+/// machine).
+///
+/// Returns one entry per configuration, in order; the first entry's
+/// `normalized_time` is 1.0 by construction.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty or the baseline executes in zero cycles.
+pub fn run_normalized<W, F>(configs: &[MachineConfig], mut make_workload: F) -> Vec<NormalizedReport>
+where
+    W: Workload,
+    F: FnMut() -> W,
+{
+    assert!(!configs.is_empty(), "need at least a baseline configuration");
+    let mut out = Vec::with_capacity(configs.len());
+    let mut baseline = None;
+    for &config in configs {
+        let report = run(config, &mut make_workload());
+        let cycles = report.cycles();
+        let base = *baseline.get_or_insert(cycles);
+        assert!(base > 0, "baseline executed no cycles");
+        out.push(NormalizedReport {
+            report,
+            normalized_time: cycles as f64 / base as f64,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Protocol;
+    use crate::program::Ctx;
+    use rnuma_mem::addr::CpuId;
+
+    /// A trivial workload: every CPU streams over a shared array.
+    struct Stream {
+        words: u64,
+    }
+
+    impl Workload for Stream {
+        fn name(&self) -> &'static str {
+            "stream"
+        }
+        fn run(&mut self, r: &mut Runner<'_>) {
+            let region = r.alloc(self.words * 8);
+            r.arm_first_touch();
+            let items = r.block_partition(self.words);
+            r.parallel(&items, |ctx: &mut Ctx<'_>, _cpu: CpuId, i: u64| {
+                ctx.update(region.word(i));
+                ctx.think(16);
+            });
+            r.barrier();
+        }
+    }
+
+    #[test]
+    fn run_produces_labeled_report() {
+        let report = run(
+            MachineConfig::paper_base(Protocol::paper_ccnuma()),
+            &mut Stream { words: 4096 },
+        );
+        assert_eq!(report.workload, "stream");
+        assert_eq!(report.protocol, "CC-NUMA");
+        assert!(report.cycles() > 0);
+        assert_eq!(report.metrics.references(), 2 * 4096);
+    }
+
+    #[test]
+    fn identical_runs_are_bit_identical() {
+        let config = MachineConfig::paper_base(Protocol::paper_rnuma());
+        let a = run(config, &mut Stream { words: 2048 });
+        let b = run(config, &mut Stream { words: 2048 });
+        assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(a.metrics.remote_fetches, b.metrics.remote_fetches);
+        assert_eq!(a.metrics.refetches, b.metrics.refetches);
+    }
+
+    #[test]
+    fn normalization_baseline_is_first() {
+        let configs = [
+            MachineConfig::paper_base(Protocol::ideal()),
+            MachineConfig::paper_base(Protocol::paper_ccnuma()),
+        ];
+        let reports = run_normalized(&configs, || Stream { words: 2048 });
+        assert_eq!(reports.len(), 2);
+        assert!((reports[0].normalized_time - 1.0).abs() < 1e-12);
+        // The finite machine can never beat the ideal one.
+        assert!(reports[1].normalized_time >= 1.0 - 1e-12);
+    }
+}

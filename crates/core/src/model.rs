@@ -1,0 +1,216 @@
+//! The paper's analytical worst-case model (Section 3.2, EQ 1–3).
+//!
+//! The model compares per-page overheads against an ideal machine with
+//! an infinite block cache. With `C_refetch` the cost of refetching a
+//! block, `C_allocate` the cost of allocating/replacing a page,
+//! `C_relocate` the cost of relocating a page, and `T` the relocation
+//! threshold:
+//!
+//! * EQ 1: `O_RNUMA / O_CCNUMA = (T·Cref + Crel + Call) / (T·Cref)`
+//! * EQ 2: `O_RNUMA / O_SCOMA  = (T·Cref + Crel + Call) / Call`
+//! * EQ 3: at `T* = Call / Cref` both ratios equal
+//!   `2 + Crel / Call`,
+//!
+//! so R-NUMA is never more than two to three times worse than the
+//! better of CC-NUMA and S-COMA: the bound is ~2 for aggressive
+//! implementations (`Crel ≪ Call`) and ~3 for conservative ones
+//! (`Crel ≈ Call`).
+
+use rnuma_os::CostModel;
+use std::fmt;
+
+/// The three per-page costs of the competitive model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModelParams {
+    /// Cost of refetching one block from home (`C_refetch`).
+    pub c_refetch: f64,
+    /// Cost of allocating and later replacing a page (`C_allocate`).
+    pub c_allocate: f64,
+    /// Cost of relocating a page from CC-NUMA to S-COMA (`C_relocate`).
+    pub c_relocate: f64,
+}
+
+impl ModelParams {
+    /// Builds model parameters with explicit costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all three costs are positive and finite.
+    #[must_use]
+    pub fn new(c_refetch: f64, c_allocate: f64, c_relocate: f64) -> ModelParams {
+        for (name, v) in [
+            ("c_refetch", c_refetch),
+            ("c_allocate", c_allocate),
+            ("c_relocate", c_relocate),
+        ] {
+            assert!(
+                v.is_finite() && v > 0.0,
+                "{name} must be positive and finite, got {v}"
+            );
+        }
+        ModelParams {
+            c_refetch,
+            c_allocate,
+            c_relocate,
+        }
+    }
+
+    /// Derives the parameters from a Table-2 cost model, assuming a
+    /// typical half-populated page (64 blocks) for the page operations.
+    #[must_use]
+    pub fn from_costs(costs: &CostModel) -> ModelParams {
+        let typical_blocks = 64;
+        ModelParams::new(
+            costs.remote_fetch.0 as f64,
+            costs.page_allocation(typical_blocks).0 as f64,
+            costs.page_relocation(typical_blocks).0 as f64,
+        )
+    }
+
+    /// EQ 1: R-NUMA's worst-case overhead relative to CC-NUMA at
+    /// threshold `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not positive.
+    #[must_use]
+    pub fn rnuma_vs_ccnuma(&self, t: f64) -> f64 {
+        assert!(t > 0.0, "threshold must be positive");
+        (t * self.c_refetch + self.c_relocate + self.c_allocate) / (t * self.c_refetch)
+    }
+
+    /// EQ 2: R-NUMA's worst-case overhead relative to S-COMA at
+    /// threshold `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not positive.
+    #[must_use]
+    pub fn rnuma_vs_scoma(&self, t: f64) -> f64 {
+        assert!(t > 0.0, "threshold must be positive");
+        (t * self.c_refetch + self.c_relocate + self.c_allocate) / self.c_allocate
+    }
+
+    /// EQ 3 (threshold): the `T*` minimizing the worst case,
+    /// `C_allocate / C_refetch`. Note it is independent of the
+    /// relocation cost.
+    #[must_use]
+    pub fn optimal_threshold(&self) -> f64 {
+        self.c_allocate / self.c_refetch
+    }
+
+    /// EQ 3 (bound): the worst-case performance ratio at `T*`,
+    /// `2 + C_relocate / C_allocate`.
+    #[must_use]
+    pub fn worst_case_bound(&self) -> f64 {
+        2.0 + self.c_relocate / self.c_allocate
+    }
+
+    /// The worst case at an arbitrary threshold: R-NUMA's competitive
+    /// ratio is the *max* of EQ 1 and EQ 2 (the adversary picks the
+    /// reference pattern).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not positive.
+    #[must_use]
+    pub fn worst_case_at(&self, t: f64) -> f64 {
+        self.rnuma_vs_ccnuma(t).max(self.rnuma_vs_scoma(t))
+    }
+}
+
+impl fmt::Display for ModelParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Cref={:.0} Call={:.0} Crel={:.0} => T*={:.1}, bound={:.2}",
+            self.c_refetch,
+            self.c_allocate,
+            self.c_relocate,
+            self.optimal_threshold(),
+            self.worst_case_bound()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ModelParams {
+        ModelParams::from_costs(&CostModel::base())
+    }
+
+    #[test]
+    fn equations_intersect_at_optimal_threshold() {
+        let p = params();
+        let t = p.optimal_threshold();
+        let eq1 = p.rnuma_vs_ccnuma(t);
+        let eq2 = p.rnuma_vs_scoma(t);
+        assert!((eq1 - eq2).abs() < 1e-9, "EQ1={eq1} EQ2={eq2}");
+        assert!((eq1 - p.worst_case_bound()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_is_between_two_and_three_for_paper_costs() {
+        // "Crelocate will be approximately equal to Callocate, and the
+        // worst-case performance will be close to 3" for conservative
+        // implementations; our cost model has Crel == Call.
+        let p = params();
+        let bound = p.worst_case_bound();
+        assert!((2.9..=3.0).contains(&bound), "bound {bound}");
+    }
+
+    #[test]
+    fn aggressive_relocation_approaches_two() {
+        let p = ModelParams::new(376.0, 7000.0, 70.0);
+        assert!((p.worst_case_bound() - 2.01).abs() < 0.1);
+    }
+
+    #[test]
+    fn paper_threshold_is_near_optimal_for_table_2_costs() {
+        // T* = Call/Cref ≈ 7224/376 ≈ 19; the paper runs T=64 for its
+        // base systems and finds T=16 better for several apps (Fig. 8) —
+        // consistent with this estimate.
+        let p = params();
+        let t = p.optimal_threshold();
+        assert!((10.0..=32.0).contains(&t), "T* = {t}");
+    }
+
+    #[test]
+    fn eq1_decreases_and_eq2_increases_in_t() {
+        let p = params();
+        let (lo, hi) = (4.0, 4096.0);
+        assert!(p.rnuma_vs_ccnuma(lo) > p.rnuma_vs_ccnuma(hi));
+        assert!(p.rnuma_vs_scoma(lo) < p.rnuma_vs_scoma(hi));
+    }
+
+    #[test]
+    fn optimal_threshold_independent_of_relocation_cost() {
+        let a = ModelParams::new(376.0, 7000.0, 100.0);
+        let b = ModelParams::new(376.0, 7000.0, 7000.0);
+        assert_eq!(a.optimal_threshold(), b.optimal_threshold());
+        assert!(a.worst_case_bound() < b.worst_case_bound());
+    }
+
+    #[test]
+    fn worst_case_at_is_minimized_near_optimal() {
+        let p = params();
+        let t_star = p.optimal_threshold();
+        let at_star = p.worst_case_at(t_star);
+        for t in [t_star / 4.0, t_star / 2.0, t_star * 2.0, t_star * 4.0] {
+            assert!(p.worst_case_at(t) >= at_star - 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cost_panics() {
+        let _ = ModelParams::new(0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn display_mentions_bound() {
+        assert!(params().to_string().contains("bound="));
+    }
+}

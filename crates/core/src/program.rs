@@ -1,0 +1,449 @@
+//! The shared-memory programming framework workloads run on.
+//!
+//! Applications in this reproduction are *kernels*: ordinary Rust code
+//! that walks the same shared data structures as the original programs
+//! and emits every load and store to the simulated machine. The
+//! framework mirrors the structure of the SPLASH-2 codes:
+//!
+//! * [`Runner::alloc`] — shared-region allocation (page-aligned, like
+//!   `G_MALLOC`);
+//! * [`Runner::parallel`] — a parallel phase: each CPU owns a list of
+//!   work items and the scheduler interleaves CPUs at item granularity
+//!   in *minimum-clock order*, so cross-CPU contention and sharing are
+//!   simulated in (approximate) time order;
+//! * [`Runner::barrier`] — global barrier (SPLASH-2 `BARRIER`);
+//! * [`Ctx`] — the per-item execution context: [`Ctx::read`],
+//!   [`Ctx::write`], and [`Ctx::think`] (compute time at the paper's
+//!   dual-issue rate).
+//!
+//! Item-granularity interleaving is the reproduction's analogue of the
+//! paper's instruction-interleaved execution-driven simulation: items
+//! (a particle, a matrix block operation, a graph node update) are small
+//! enough that protocol interactions across CPUs happen in close to
+//! true time order.
+
+use crate::machine::Machine;
+use rnuma_mem::addr::{CpuId, Va, PAGE_BYTES};
+use rnuma_sim::Cycles;
+
+/// A page-aligned shared-memory region.
+///
+/// Element helpers address the region as an array of fixed-size records
+/// without exposing raw address arithmetic to workload code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    base: Va,
+    bytes: u64,
+}
+
+impl Region {
+    /// First byte address.
+    #[must_use]
+    pub fn base(&self) -> Va {
+        self.base
+    }
+
+    /// Region length in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Address of byte `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is out of bounds.
+    #[must_use]
+    pub fn at(&self, offset: u64) -> Va {
+        assert!(offset < self.bytes, "offset {offset} out of region");
+        Va(self.base.0 + offset)
+    }
+
+    /// Address of the `i`-th record of `stride` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record extends past the region.
+    #[must_use]
+    pub fn elem(&self, i: u64, stride: u64) -> Va {
+        let offset = i * stride;
+        assert!(
+            offset + stride <= self.bytes,
+            "element {i} (stride {stride}) out of region"
+        );
+        Va(self.base.0 + offset)
+    }
+
+    /// Address of the `i`-th 8-byte word (the dominant element size in
+    /// the scientific codes).
+    #[must_use]
+    pub fn word(&self, i: u64) -> Va {
+        self.elem(i, 8)
+    }
+
+    /// Number of whole `stride`-byte records the region holds.
+    #[must_use]
+    pub fn len(&self, stride: u64) -> u64 {
+        self.bytes / stride
+    }
+
+    /// `true` when the region is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+}
+
+/// Per-item execution context handed to workload bodies.
+///
+/// All references execute at the owning CPU's clock and advance it.
+#[derive(Debug)]
+pub struct Ctx<'m> {
+    machine: &'m mut Machine,
+    cpu: CpuId,
+}
+
+impl Ctx<'_> {
+    /// The CPU this item runs on.
+    #[must_use]
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+
+    /// Issues a load.
+    pub fn read(&mut self, va: Va) {
+        self.machine.access(self.cpu, va, false);
+    }
+
+    /// Issues a store.
+    pub fn write(&mut self, va: Va) {
+        self.machine.access(self.cpu, va, true);
+    }
+
+    /// Issues a load followed by a store to the same word
+    /// (read-modify-write, e.g. `x += ...`).
+    pub fn update(&mut self, va: Va) {
+        self.read(va);
+        self.write(va);
+    }
+
+    /// Reads `n` consecutive 8-byte words starting at `va`.
+    pub fn read_words(&mut self, va: Va, n: u64) {
+        for i in 0..n {
+            self.read(Va(va.0 + i * 8));
+        }
+    }
+
+    /// Writes `n` consecutive 8-byte words starting at `va`.
+    pub fn write_words(&mut self, va: Va, n: u64) {
+        for i in 0..n {
+            self.write(Va(va.0 + i * 8));
+        }
+    }
+
+    /// Charges `instructions` of compute at the paper's dual-issue rate
+    /// (two instructions per cycle).
+    pub fn think(&mut self, instructions: u64) {
+        self.machine.advance(self.cpu, Cycles(instructions / 2));
+    }
+
+    /// The CPU's current clock (diagnostics).
+    #[must_use]
+    pub fn now(&self) -> Cycles {
+        self.machine.clock(self.cpu)
+    }
+}
+
+/// Drives a [`Workload`] on a [`Machine`].
+#[derive(Debug)]
+pub struct Runner<'m> {
+    machine: &'m mut Machine,
+    next_va: u64,
+    total_cpus: u16,
+}
+
+impl<'m> Runner<'m> {
+    /// Wraps a machine for one workload run.
+    #[must_use]
+    pub fn new(machine: &'m mut Machine) -> Runner<'m> {
+        let total_cpus = machine.config().total_cpus();
+        Runner {
+            machine,
+            // Leave page 0 unused so Va(0) never aliases real data.
+            next_va: PAGE_BYTES,
+            total_cpus,
+        }
+    }
+
+    /// Number of CPUs in the machine.
+    #[must_use]
+    pub fn cpus(&self) -> u16 {
+        self.total_cpus
+    }
+
+    /// Allocates a page-aligned shared region of at least `bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn alloc(&mut self, bytes: u64) -> Region {
+        assert!(bytes > 0, "empty allocation");
+        let rounded = bytes.div_ceil(PAGE_BYTES) * PAGE_BYTES;
+        let base = Va(self.next_va);
+        self.next_va += rounded;
+        Region {
+            base,
+            bytes: rounded,
+        }
+    }
+
+    /// Arms first-touch page placement; call at the start of the
+    /// parallel phase (the paper's user-invoked directive).
+    pub fn arm_first_touch(&mut self) {
+        self.machine.arm_first_touch();
+    }
+
+    /// Synchronizes all CPUs (SPLASH-2 `BARRIER`).
+    pub fn barrier(&mut self) {
+        self.machine.barrier_all();
+    }
+
+    /// Runs one parallel phase.
+    ///
+    /// `items[cpu]` lists the work items owned by each CPU (empty lists
+    /// are fine — that CPU simply waits). The scheduler repeatedly picks
+    /// the unfinished CPU with the smallest clock and executes its next
+    /// item via `body(ctx, cpu, item)`. Ties resolve by CPU id, so runs
+    /// are deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len()` differs from the machine's CPU count.
+    pub fn parallel<F>(&mut self, items: &[Vec<u64>], mut body: F)
+    where
+        F: FnMut(&mut Ctx<'_>, CpuId, u64),
+    {
+        assert_eq!(
+            items.len(),
+            self.total_cpus as usize,
+            "one item list per CPU required"
+        );
+        let mut cursors = vec![0usize; items.len()];
+        loop {
+            // Pick the unfinished CPU with the smallest clock.
+            let mut best: Option<(Cycles, usize)> = None;
+            for (idx, cursor) in cursors.iter().enumerate() {
+                if *cursor < items[idx].len() {
+                    let clock = self.machine.clock(CpuId(idx as u16));
+                    match best {
+                        Some((c, _)) if c <= clock => {}
+                        _ => best = Some((clock, idx)),
+                    }
+                }
+            }
+            let Some((_, idx)) = best else { break };
+            let item = items[idx][cursors[idx]];
+            cursors[idx] += 1;
+            let cpu = CpuId(idx as u16);
+            let mut ctx = Ctx {
+                machine: self.machine,
+                cpu,
+            };
+            body(&mut ctx, cpu, item);
+        }
+    }
+
+    /// Runs a sequential section on one CPU (e.g., a master-only setup
+    /// step that must be timed).
+    pub fn serial<F>(&mut self, cpu: CpuId, body: F)
+    where
+        F: FnOnce(&mut Ctx<'_>),
+    {
+        let mut ctx = Ctx {
+            machine: self.machine,
+            cpu,
+        };
+        body(&mut ctx);
+    }
+
+    /// Splits `n` items into per-CPU contiguous chunks (block
+    /// distribution, the dominant SPLASH-2 pattern).
+    #[must_use]
+    pub fn block_partition(&self, n: u64) -> Vec<Vec<u64>> {
+        let cpus = self.total_cpus as u64;
+        (0..cpus)
+            .map(|c| {
+                let lo = n * c / cpus;
+                let hi = n * (c + 1) / cpus;
+                (lo..hi).collect()
+            })
+            .collect()
+    }
+
+    /// Distributes `n` items round-robin across CPUs (interleaved
+    /// distribution).
+    #[must_use]
+    pub fn cyclic_partition(&self, n: u64) -> Vec<Vec<u64>> {
+        let cpus = self.total_cpus as u64;
+        (0..cpus)
+            .map(|c| (c..n).step_by(cpus as usize).collect())
+            .collect()
+    }
+
+    /// Access to the underlying machine (diagnostics and custom flows).
+    #[must_use]
+    pub fn machine(&mut self) -> &mut Machine {
+        self.machine
+    }
+}
+
+/// A runnable application kernel.
+///
+/// Implementations live in the `rnuma-workloads` crate; anything that
+/// drives a [`Runner`] works, so downstream users can simulate their own
+/// access patterns (see the `custom_workload` example).
+pub trait Workload {
+    /// The application's name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Executes the kernel against the machine.
+    fn run(&mut self, runner: &mut Runner<'_>);
+}
+
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn run(&mut self, runner: &mut Runner<'_>) {
+        (**self).run(runner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MachineConfig, Protocol};
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::paper_base(Protocol::paper_ccnuma())).unwrap()
+    }
+
+    #[test]
+    fn alloc_is_page_aligned_and_disjoint() {
+        let mut m = machine();
+        let mut r = Runner::new(&mut m);
+        let a = r.alloc(100);
+        let b = r.alloc(5000);
+        assert_eq!(a.base().0 % PAGE_BYTES, 0);
+        assert_eq!(a.bytes(), PAGE_BYTES);
+        assert_eq!(b.bytes(), 2 * PAGE_BYTES);
+        assert!(b.base().0 >= a.base().0 + a.bytes());
+        assert!(a.base().0 >= PAGE_BYTES, "page 0 reserved");
+    }
+
+    #[test]
+    fn region_addressing() {
+        let mut m = machine();
+        let mut r = Runner::new(&mut m);
+        let a = r.alloc(4096);
+        assert_eq!(a.word(0), a.base());
+        assert_eq!(a.word(1).0, a.base().0 + 8);
+        assert_eq!(a.elem(3, 16).0, a.base().0 + 48);
+        assert_eq!(a.len(8), 512);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of region")]
+    fn out_of_bounds_addressing_panics() {
+        let mut m = machine();
+        let mut r = Runner::new(&mut m);
+        let a = r.alloc(64);
+        let _ = a.at(PAGE_BYTES);
+    }
+
+    #[test]
+    fn partitions_cover_everything_exactly_once() {
+        let mut m = machine();
+        let r = Runner::new(&mut m);
+        for part in [r.block_partition(101), r.cyclic_partition(101)] {
+            let mut seen: Vec<u64> = part.into_iter().flatten().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..101).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_runs_items_in_min_clock_order() {
+        let mut m = machine();
+        let mut r = Runner::new(&mut m);
+        let region = r.alloc(PAGE_BYTES * 32);
+        // Give CPU 0 a long item first; others short items. The long
+        // item must not monopolize the schedule.
+        let mut order = Vec::new();
+        let items: Vec<Vec<u64>> = (0..32).map(|c| vec![c as u64]).collect();
+        r.parallel(&items, |ctx, cpu, item| {
+            order.push(cpu.0);
+            ctx.read(region.elem(item, PAGE_BYTES));
+            if cpu.0 == 0 {
+                ctx.think(100_000);
+            }
+        });
+        assert_eq!(order.len(), 32);
+        // All CPUs participated exactly once.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn think_advances_at_dual_issue_rate() {
+        let mut m = machine();
+        let mut r = Runner::new(&mut m);
+        r.serial(CpuId(3), |ctx| {
+            let before = ctx.now();
+            ctx.think(1000);
+            assert_eq!(ctx.now(), before + Cycles(500));
+        });
+    }
+
+    #[test]
+    fn update_issues_read_then_write() {
+        let mut m = machine();
+        {
+            let mut r = Runner::new(&mut m);
+            let region = r.alloc(64);
+            r.serial(CpuId(0), |ctx| {
+                ctx.update(region.word(0));
+            });
+        }
+        let metrics = m.metrics();
+        assert_eq!(metrics.reads, 1);
+        assert_eq!(metrics.writes, 1);
+    }
+
+    #[test]
+    fn read_write_words_emit_n_references() {
+        let mut m = machine();
+        {
+            let mut r = Runner::new(&mut m);
+            let region = r.alloc(4096);
+            r.serial(CpuId(0), |ctx| {
+                ctx.read_words(region.base(), 10);
+                ctx.write_words(region.base(), 5);
+            });
+        }
+        let metrics = m.metrics();
+        assert_eq!(metrics.reads, 10);
+        assert_eq!(metrics.writes, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one item list per CPU")]
+    fn wrong_item_list_count_panics() {
+        let mut m = machine();
+        let mut r = Runner::new(&mut m);
+        r.parallel(&[vec![0u64]], |_, _, _| {});
+    }
+}

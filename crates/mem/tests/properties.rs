@@ -1,0 +1,203 @@
+//! Property-based tests for memory-hierarchy invariants.
+
+use proptest::prelude::*;
+use rnuma_mem::addr::{NodeId, NodeMask, VBlock, VPage, Va, BLOCKS_PER_PAGE, PAGE_BYTES};
+use rnuma_mem::block_cache::{BlockCache, BlockState};
+use rnuma_mem::cache::DirectCache;
+use rnuma_mem::fine_tags::{AccessTag, FineTags};
+use rnuma_mem::l1::L1Cache;
+use rnuma_mem::moesi::Moesi;
+use rnuma_mem::page_cache::PageCache;
+
+fn arb_tag() -> impl Strategy<Value = AccessTag> {
+    prop_oneof![
+        Just(AccessTag::Invalid),
+        Just(AccessTag::ReadOnly),
+        Just(AccessTag::ReadWrite),
+    ]
+}
+
+proptest! {
+    /// Address decomposition is consistent: every Va belongs to the page
+    /// of its block, and offsets recompose to the original address.
+    #[test]
+    fn address_round_trip(raw in 0u64..(1 << 44)) {
+        let va = Va(raw);
+        prop_assert_eq!(va.vblock().vpage(), va.vpage());
+        let rebuilt = va.vpage().base().0
+            + va.vblock().index_in_page() * 32
+            + va.offset_in_block();
+        prop_assert_eq!(rebuilt, raw);
+    }
+
+    /// A direct-mapped cache never holds more lines than its capacity and
+    /// a resident block is always found at its own index.
+    #[test]
+    fn direct_cache_capacity_invariant(
+        lines in 1usize..64,
+        blocks in prop::collection::vec(0u64..10_000, 0..500),
+    ) {
+        let mut c: DirectCache<u8> = DirectCache::new(lines);
+        for b in blocks {
+            c.insert(VBlock(b), 0);
+            prop_assert!(c.occupied() <= lines);
+            prop_assert!(c.contains(VBlock(b)));
+        }
+    }
+
+    /// Two blocks can conflict only if they share an index.
+    #[test]
+    fn direct_cache_conflicts_share_index(
+        lines in 1usize..64,
+        a in 0u64..10_000,
+        b in 0u64..10_000,
+    ) {
+        prop_assume!(a != b);
+        let mut c: DirectCache<u8> = DirectCache::new(lines);
+        c.insert(VBlock(a), 0);
+        let evicted = matches!(
+            c.insert(VBlock(b), 0),
+            rnuma_mem::cache::Insert::Evicted(_)
+        );
+        prop_assert_eq!(evicted, a % lines as u64 == b % lines as u64);
+    }
+
+    /// Fine-grain tags behave as an independent array of 2-bit cells.
+    #[test]
+    fn fine_tags_independent_cells(
+        writes in prop::collection::vec((0u64..BLOCKS_PER_PAGE, arb_tag()), 0..300)
+    ) {
+        let mut tags = FineTags::new();
+        let mut model = [AccessTag::Invalid; 128];
+        for (i, t) in writes {
+            tags.set(i, t);
+            model[i as usize] = t;
+        }
+        for i in 0..BLOCKS_PER_PAGE {
+            prop_assert_eq!(tags.get(i), model[i as usize]);
+        }
+        let valid = model.iter().filter(|t| t.readable()).count() as u32;
+        let rw = model.iter().filter(|t| t.writable()).count() as u32;
+        prop_assert_eq!(tags.count_valid(), valid);
+        prop_assert_eq!(tags.count_read_write(), rw);
+    }
+
+    /// The page cache never exceeds its frame count, and lookup agrees
+    /// with allocation history.
+    #[test]
+    fn page_cache_capacity_invariant(
+        frames in 1u64..16,
+        pages in prop::collection::vec(0u64..64, 1..200),
+    ) {
+        let mut pc = PageCache::new(frames * PAGE_BYTES);
+        let mut resident: Vec<u64> = Vec::new();
+        for p in pages {
+            if pc.lookup(VPage(p)).is_some() {
+                pc.record_miss(VPage(p));
+                continue;
+            }
+            let alloc = pc.allocate(VPage(p));
+            if let Some(v) = alloc.victim {
+                prop_assert!(resident.contains(&v.vpage.0));
+                resident.retain(|&x| x != v.vpage.0);
+            }
+            resident.push(p);
+            prop_assert!(pc.occupied() <= frames as usize);
+            prop_assert_eq!(pc.occupied(), resident.len());
+        }
+        for &p in &resident {
+            prop_assert!(pc.lookup(VPage(p)).is_some());
+        }
+    }
+
+    /// LRM evicts the resident page whose last miss is oldest.
+    #[test]
+    fn lrm_evicts_least_recently_missed(
+        misses in prop::collection::vec(0u64..4, 0..50),
+    ) {
+        let mut pc = PageCache::new(4 * PAGE_BYTES);
+        for p in 0..4u64 {
+            pc.allocate(VPage(p));
+        }
+        let mut stamps = [0u64, 1, 2, 3]; // allocation order stamps
+        let mut clock = 4u64;
+        for m in misses {
+            clock += 1;
+            pc.record_miss(VPage(m));
+            stamps[m as usize] = clock;
+        }
+        let oldest = (0..4).min_by_key(|&i| stamps[i]).unwrap() as u64;
+        let victim = pc.allocate(VPage(99)).victim.unwrap();
+        prop_assert_eq!(victim.vpage, VPage(oldest));
+    }
+
+    /// L1 dirtiness is preserved exactly by fills and snoops: a block
+    /// reported dirty on eviction must have been stored to.
+    #[test]
+    fn l1_eviction_dirtiness_tracks_stores(
+        ops in prop::collection::vec((0u64..64, any::<bool>()), 1..300)
+    ) {
+        let mut l1 = L1Cache::new(128); // 4 lines, lots of conflicts
+        let mut wrote = std::collections::HashSet::new();
+        for (b, is_write) in ops {
+            let block = VBlock(b);
+            let ev = if is_write {
+                wrote.insert(b);
+                l1.grant_write(block)
+            } else if l1.state(block) == Moesi::Invalid {
+                l1.fill(block, Moesi::Shared)
+            } else {
+                None
+            };
+            if let Some(ev) = ev {
+                prop_assert_eq!(ev.dirty, wrote.contains(&ev.block.0));
+                if ev.dirty {
+                    wrote.remove(&ev.block.0);
+                }
+            }
+        }
+    }
+
+    /// NodeMask is a faithful set over 0..64.
+    #[test]
+    fn node_mask_is_a_set(ids in prop::collection::vec(0u8..64, 0..100)) {
+        let mut mask = NodeMask::EMPTY;
+        let mut model = std::collections::BTreeSet::new();
+        for id in ids {
+            mask.insert(NodeId(id));
+            model.insert(id);
+        }
+        prop_assert_eq!(mask.count() as usize, model.len());
+        let from_mask: Vec<u8> = mask.iter().map(|n| n.0).collect();
+        let from_model: Vec<u8> = model.into_iter().collect();
+        prop_assert_eq!(from_mask, from_model);
+    }
+
+    /// Block-cache flush_page removes exactly the page's resident blocks.
+    #[test]
+    fn block_cache_flush_is_exact(
+        page_blocks in prop::collection::vec(0u64..BLOCKS_PER_PAGE, 0..32),
+        other_blocks in prop::collection::vec(0u64..10_000, 0..32),
+    ) {
+        let mut bc = BlockCache::infinite();
+        let page = VPage(5);
+        let mut expected = std::collections::HashSet::new();
+        for i in &page_blocks {
+            bc.fill(page.block(*i), BlockState::read_only());
+            expected.insert(page.block(*i));
+        }
+        for b in &other_blocks {
+            let blk = VBlock(*b);
+            if blk.vpage() != page {
+                bc.fill(blk, BlockState::read_only());
+            }
+        }
+        let flushed = bc.flush_page(page);
+        let got: std::collections::HashSet<_> =
+            flushed.iter().map(|e| e.block).collect();
+        prop_assert_eq!(got, expected);
+        for i in 0..BLOCKS_PER_PAGE {
+            prop_assert!(bc.probe(page.block(i)).is_none());
+        }
+    }
+}

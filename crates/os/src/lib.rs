@@ -1,0 +1,30 @@
+//! Operating-system model for the Reactive NUMA reproduction.
+//!
+//! The paper's OS involvement is central to the trade-off it studies:
+//! S-COMA buys a huge fully-associative page cache at the price of OS
+//! intervention (page faults, allocation, replacement, TLB shootdowns),
+//! while CC-NUMA needs the OS only for the initial mapping. This crate
+//! models that involvement:
+//!
+//! * [`cost`] — the Table-2 cost model, including the 3000–11,500-cycle
+//!   page allocation/replacement/relocation range and the Section-5.5
+//!   "SOFT" (slow commodity) variant;
+//! * [`paging`] — global page homes with the first-touch placement
+//!   policy of Marchetti et al. that the paper adopts;
+//! * [`stats`] — per-node paging event counters feeding Table 4.
+//!
+//! The flows that *use* these pieces (S-COMA allocation, LRM
+//! replacement, R-NUMA relocation) are orchestrated per-protocol in the
+//! `rnuma` crate's machine model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cost;
+pub mod paging;
+pub mod stats;
+
+pub use cost::CostModel;
+pub use paging::PageManager;
+pub use stats::OsStats;

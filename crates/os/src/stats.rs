@@ -1,0 +1,104 @@
+//! Per-node operating-system event statistics.
+//!
+//! These counters feed Table 4 (refetches and page replacements) and the
+//! per-application discussion in Section 5 of the paper.
+
+use std::fmt;
+
+/// Counts of OS-level paging events on one node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OsStats {
+    /// Soft page faults taken (first reference to an unmapped page).
+    pub page_faults: u64,
+    /// CC-NUMA page mappings installed.
+    pub ccnuma_maps: u64,
+    /// S-COMA page-cache allocations (initial maps and post-replacement
+    /// re-maps).
+    pub scoma_allocations: u64,
+    /// S-COMA page-cache replacements (a resident page was evicted).
+    pub page_replacements: u64,
+    /// R-NUMA relocations (CC-NUMA page moved into the page cache).
+    pub relocations: u64,
+    /// TLB shootdowns performed.
+    pub tlb_shootdowns: u64,
+    /// Blocks flushed home by page replacement or relocation.
+    pub blocks_flushed: u64,
+}
+
+impl OsStats {
+    /// A zeroed record.
+    #[must_use]
+    pub fn new() -> OsStats {
+        OsStats::default()
+    }
+
+    /// Element-wise sum with another record (machine-wide totals).
+    #[must_use]
+    pub fn merged(self, other: OsStats) -> OsStats {
+        OsStats {
+            page_faults: self.page_faults + other.page_faults,
+            ccnuma_maps: self.ccnuma_maps + other.ccnuma_maps,
+            scoma_allocations: self.scoma_allocations + other.scoma_allocations,
+            page_replacements: self.page_replacements + other.page_replacements,
+            relocations: self.relocations + other.relocations,
+            tlb_shootdowns: self.tlb_shootdowns + other.tlb_shootdowns,
+            blocks_flushed: self.blocks_flushed + other.blocks_flushed,
+        }
+    }
+}
+
+impl fmt::Display for OsStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "faults={} ccnuma_maps={} scoma_allocs={} replacements={} \
+             relocations={} shootdowns={} flushed={}",
+            self.page_faults,
+            self.ccnuma_maps,
+            self.scoma_allocations,
+            self.page_replacements,
+            self.relocations,
+            self.tlb_shootdowns,
+            self.blocks_flushed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_by_default() {
+        let s = OsStats::new();
+        assert_eq!(s.page_faults, 0);
+        assert_eq!(s, OsStats::default());
+    }
+
+    #[test]
+    fn merged_sums_fields() {
+        let a = OsStats {
+            page_faults: 1,
+            ccnuma_maps: 2,
+            scoma_allocations: 3,
+            page_replacements: 4,
+            relocations: 5,
+            tlb_shootdowns: 6,
+            blocks_flushed: 7,
+        };
+        let b = OsStats {
+            page_faults: 10,
+            ..OsStats::default()
+        };
+        let m = a.merged(b);
+        assert_eq!(m.page_faults, 11);
+        assert_eq!(m.blocks_flushed, 7);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = OsStats::new().to_string();
+        assert!(s.contains("faults=0"));
+        assert!(s.contains("relocations=0"));
+    }
+}

@@ -1,0 +1,208 @@
+//! First-come-first-served occupancy servers.
+//!
+//! The paper models contention "at the memory bus" and "at the network
+//! interfaces" (Section 4). A [`Resource`] is the standard protocol-level
+//! abstraction for that: a single server that is busy for an *occupancy*
+//! period per transaction and grants access in request order. Requesters
+//! arriving while the server is busy are delayed until it frees up; the
+//! delay is the queueing component of their latency.
+
+use crate::time::Cycles;
+use std::fmt;
+
+/// A FCFS single server modeling one contended hardware resource.
+///
+/// Typical instances in this workspace: one split-transaction memory bus
+/// per node, one network-interface port per node and direction, and one
+/// protocol-controller (RAD) occupancy per node.
+///
+/// # Example
+///
+/// ```
+/// use rnuma_sim::{Cycles, Resource};
+///
+/// let mut ni = Resource::new("ni-out");
+/// // Two messages injected at the same time serialize.
+/// let g0 = ni.acquire(Cycles(100), Cycles(16));
+/// let g1 = ni.acquire(Cycles(100), Cycles(16));
+/// assert_eq!(g0, Cycles(100));
+/// assert_eq!(g1, Cycles(116));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Resource {
+    name: &'static str,
+    next_free: Cycles,
+    busy: Cycles,
+    grants: u64,
+    queued: u64,
+    total_wait: Cycles,
+}
+
+impl Resource {
+    /// Creates an idle resource. `name` labels it in statistics dumps.
+    #[must_use]
+    pub fn new(name: &'static str) -> Resource {
+        Resource {
+            name,
+            next_free: Cycles::ZERO,
+            busy: Cycles::ZERO,
+            grants: 0,
+            queued: 0,
+            total_wait: Cycles::ZERO,
+        }
+    }
+
+    /// Requests the resource at time `now` for `occupancy` cycles.
+    ///
+    /// Returns the *grant time*: `now` if the resource is idle, otherwise
+    /// the time the previous holder releases it. The caller's transaction
+    /// completes at `grant + occupancy` (plus any downstream latency).
+    pub fn acquire(&mut self, now: Cycles, occupancy: Cycles) -> Cycles {
+        let grant = now.max(self.next_free);
+        if grant > now {
+            self.queued += 1;
+            self.total_wait += grant - now;
+        }
+        self.next_free = grant + occupancy;
+        self.busy += occupancy;
+        self.grants += 1;
+        grant
+    }
+
+    /// The time the resource next becomes free.
+    #[must_use]
+    pub fn next_free(&self) -> Cycles {
+        self.next_free
+    }
+
+    /// Label given at construction.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of transactions granted so far.
+    #[must_use]
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Number of transactions that had to queue.
+    #[must_use]
+    pub fn queued(&self) -> u64 {
+        self.queued
+    }
+
+    /// Sum of all queueing delays imposed.
+    #[must_use]
+    pub fn total_wait(&self) -> Cycles {
+        self.total_wait
+    }
+
+    /// Total busy time accumulated.
+    #[must_use]
+    pub fn busy(&self) -> Cycles {
+        self.busy
+    }
+
+    /// Busy fraction over a horizon, for utilization reports.
+    ///
+    /// Returns 0.0 for an empty horizon.
+    #[must_use]
+    pub fn utilization(&self, horizon: Cycles) -> f64 {
+        if horizon.is_zero() {
+            0.0
+        } else {
+            self.busy.0 as f64 / horizon.0 as f64
+        }
+    }
+
+    /// Forgets all accumulated history, returning the resource to idle.
+    pub fn reset(&mut self) {
+        self.next_free = Cycles::ZERO;
+        self.busy = Cycles::ZERO;
+        self.grants = 0;
+        self.queued = 0;
+        self.total_wait = Cycles::ZERO;
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} grants, {} queued, busy {}, waited {}",
+            self.name, self.grants, self.queued, self.busy, self.total_wait
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_resource_grants_immediately() {
+        let mut r = Resource::new("bus");
+        assert_eq!(r.acquire(Cycles(50), Cycles(8)), Cycles(50));
+        assert_eq!(r.next_free(), Cycles(58));
+        assert_eq!(r.queued(), 0);
+    }
+
+    #[test]
+    fn contenders_serialize_in_arrival_order() {
+        let mut r = Resource::new("bus");
+        let g0 = r.acquire(Cycles(0), Cycles(10));
+        let g1 = r.acquire(Cycles(3), Cycles(10));
+        let g2 = r.acquire(Cycles(4), Cycles(10));
+        assert_eq!((g0, g1, g2), (Cycles(0), Cycles(10), Cycles(20)));
+        assert_eq!(r.queued(), 2);
+        assert_eq!(r.total_wait(), Cycles(7 + 16));
+    }
+
+    #[test]
+    fn gaps_leave_the_resource_idle() {
+        let mut r = Resource::new("ni");
+        r.acquire(Cycles(0), Cycles(4));
+        let g = r.acquire(Cycles(100), Cycles(4));
+        assert_eq!(g, Cycles(100));
+        assert_eq!(r.busy(), Cycles(8));
+        // Utilization over 200 cycles: 8/200.
+        assert!((r.utilization(Cycles(200)) - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_occupancy_is_allowed() {
+        let mut r = Resource::new("tag-probe");
+        let g0 = r.acquire(Cycles(5), Cycles::ZERO);
+        let g1 = r.acquire(Cycles(5), Cycles(2));
+        assert_eq!(g0, Cycles(5));
+        assert_eq!(g1, Cycles(5));
+    }
+
+    #[test]
+    fn utilization_of_empty_horizon_is_zero() {
+        let r = Resource::new("x");
+        assert_eq!(r.utilization(Cycles::ZERO), 0.0);
+    }
+
+    #[test]
+    fn reset_restores_idle_state() {
+        let mut r = Resource::new("bus");
+        r.acquire(Cycles(0), Cycles(100));
+        r.acquire(Cycles(0), Cycles(100));
+        r.reset();
+        assert_eq!(r.next_free(), Cycles::ZERO);
+        assert_eq!(r.grants(), 0);
+        assert_eq!(r.acquire(Cycles(1), Cycles(1)), Cycles(1));
+    }
+
+    #[test]
+    fn display_mentions_name_and_counts() {
+        let mut r = Resource::new("membus");
+        r.acquire(Cycles(0), Cycles(4));
+        let s = r.to_string();
+        assert!(s.contains("membus"));
+        assert!(s.contains("1 grants"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Runs one Table-3 application (default: moldyn) across all four
+//! machines — ideal, CC-NUMA, S-COMA, R-NUMA — and prints the
+//! Figure-6-style normalized comparison plus traffic counters.
+//!
+//! Run with:
+//! `cargo run --release -p rnuma-bench --example protocol_shootout -- [app] [tiny|small|paper]`
+
+use rnuma::config::{MachineConfig, Protocol};
+use rnuma::experiment::run;
+use rnuma_workloads::{by_name, Scale, APP_NAMES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app = args.get(1).map_or("moldyn", String::as_str);
+    let scale = match args.get(2).map(String::as_str) {
+        Some("paper") => Scale::Paper,
+        Some("small") => Scale::Small,
+        _ => Scale::Tiny,
+    };
+    assert!(
+        APP_NAMES.contains(&app),
+        "unknown app {app}; choose one of {APP_NAMES:?}"
+    );
+
+    println!("{app} at {scale:?} scale on the paper's base machines\n");
+    let mut baseline = None;
+    println!(
+        "{:38} {:>12} {:>7} {:>9} {:>9} {:>7} {:>7}",
+        "machine", "cycles", "norm", "fetches", "refetch", "reloc", "repl"
+    );
+    for protocol in [
+        Protocol::ideal(),
+        Protocol::paper_ccnuma(),
+        Protocol::paper_scoma(),
+        Protocol::paper_rnuma(),
+    ] {
+        let mut w = by_name(app, scale).expect("validated above");
+        let report = run(MachineConfig::paper_base(protocol), &mut w);
+        let base = *baseline.get_or_insert(report.cycles() as f64);
+        println!(
+            "{:38} {:12} {:7.2} {:9} {:9} {:7} {:7}",
+            protocol.to_string(),
+            report.cycles(),
+            report.cycles() as f64 / base,
+            report.metrics.remote_fetches,
+            report.metrics.refetches,
+            report.metrics.os.relocations,
+            report.metrics.os.page_replacements,
+        );
+    }
+}

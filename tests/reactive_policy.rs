@@ -1,0 +1,151 @@
+//! The reactive policy end to end: threshold semantics, page-mode
+//! transitions in both directions, and counter hygiene.
+
+use rnuma::config::{MachineConfig, Protocol};
+use rnuma::machine::Machine;
+use rnuma_mem::addr::{CpuId, Va};
+use rnuma_sim::Cycles;
+
+fn rnuma(threshold: u32, page_cache_bytes: u64) -> Machine {
+    Machine::new(MachineConfig::paper_base(Protocol::RNuma {
+        block_cache_bytes: 128,
+        page_cache_bytes,
+        threshold,
+    }))
+    .expect("valid config")
+}
+
+/// The victim page under test and an evictor page whose block 0 maps to
+/// the same set in both the 8-KB L1 (256 lines) and the 128-B block
+/// cache (4 lines), so alternating reads force a refetch of `A` on
+/// every revisit.
+const PAGE_A: u64 = 8;
+const PAGE_EVICT: u64 = 16; // (16*128) % 256 == (8*128) % 256 == 0
+const A: Va = Va(PAGE_A * 4096);
+const EVICT: Va = Va(PAGE_EVICT * 4096);
+
+/// Homes both pages at node 0 so node 1's accesses are remote.
+fn home_pages(m: &mut Machine) {
+    m.access(CpuId(0), A, false);
+    m.access(CpuId(0), EVICT, false);
+}
+
+/// Forces ~`n` refetches of page A's block 0 on node 1 by alternating
+/// with the evictor block (the evictor page accumulates refetches too).
+fn force_refetches(m: &mut Machine, n: u32) {
+    for _ in 0..n {
+        m.access(CpuId(4), A, false);
+        m.access(CpuId(4), EVICT, false);
+    }
+}
+
+#[test]
+fn relocation_fires_exactly_at_threshold() {
+    for threshold in [2u32, 5, 9] {
+        let mut m = rnuma(threshold, 320 * 1024);
+        home_pages(&mut m);
+        force_refetches(&mut m, 2 * threshold + 2);
+        let metrics = m.metrics();
+        assert!(
+            metrics.relocation_interrupts >= 1,
+            "T={threshold} never fired: {metrics}"
+        );
+    }
+}
+
+#[test]
+fn below_threshold_never_relocates() {
+    let mut m = rnuma(1000, 320 * 1024);
+    home_pages(&mut m);
+    force_refetches(&mut m, 100);
+    assert_eq!(m.metrics().relocation_interrupts, 0);
+}
+
+#[test]
+fn relocated_page_serves_from_page_cache() {
+    let mut m = rnuma(2, 320 * 1024);
+    home_pages(&mut m);
+    force_refetches(&mut m, 12);
+    let before = m.metrics();
+    assert!(before.relocation_interrupts >= 1);
+    m.barrier_all();
+    // Re-reads of the relocated page's resident block hit locally.
+    m.access(CpuId(4), A, false);
+    let after = m.metrics();
+    assert!(
+        after.page_cache_hits > before.page_cache_hits,
+        "expected page-cache hits after relocation: {after}"
+    );
+}
+
+#[test]
+fn page_cache_pressure_reverts_pages_to_ccnuma() {
+    // A two-frame page cache: relocating a third page evicts the LRM
+    // victim, which becomes unmapped (next touch restarts CC-NUMA).
+    let mut m = rnuma(2, 2 * 4096);
+    // Three victim pages, each with its own evictor page (an evictor
+    // that relocates stops evicting, so they cannot be shared). All
+    // block-0s map to L1 set 0 and block-cache set 0.
+    let pairs = [(8u64, 32u64), (16, 40), (24, 48)];
+    for &(p, e) in &pairs {
+        m.access(CpuId(0), Va(p * 4096), false);
+        m.access(CpuId(0), Va(e * 4096), false);
+    }
+    for &(p, e) in &pairs {
+        for _ in 0..8u32 {
+            m.access(CpuId(4), Va(p * 4096), false);
+            m.access(CpuId(4), Va(e * 4096), false);
+        }
+    }
+    let metrics = m.metrics();
+    assert!(
+        metrics.relocation_interrupts >= 3,
+        "all victim pages should relocate: {metrics}"
+    );
+    assert!(
+        metrics.os.page_replacements >= 1,
+        "the two-frame cache must evict: {metrics}"
+    );
+}
+
+#[test]
+fn relocation_cost_is_charged() {
+    // The access that crosses the threshold pays the relocation
+    // overhead (>= soft trap + shootdown + bookkeeping beyond the plain
+    // 376-cycle fetch).
+    let mut m = rnuma(2, 320 * 1024);
+    home_pages(&mut m);
+    m.access(CpuId(4), A, false); // cold fetch
+    m.access(CpuId(4), EVICT, false);
+    m.access(CpuId(4), A, false); // refetch #1
+    m.access(CpuId(4), EVICT, false);
+    m.barrier_all();
+    let lat = m.access(CpuId(4), A, false); // refetch #2 -> relocate
+    assert!(
+        lat >= Cycles(376 + 3000),
+        "threshold-crossing access must pay the relocation: {lat}"
+    );
+    assert!(m.metrics().relocation_interrupts >= 1);
+}
+
+#[test]
+fn scoma_mode_misses_do_not_count_toward_relocation() {
+    // After relocation, coherence activity on the S-COMA page must not
+    // raise further interrupts.
+    let mut m = rnuma(2, 320 * 1024);
+    home_pages(&mut m);
+    force_refetches(&mut m, 10);
+    let interrupts = m.metrics().relocation_interrupts;
+    assert!(interrupts >= 1);
+    // Node 0 (home) writes the block repeatedly, invalidating node 1's
+    // tags; node 1 re-reads (S-COMA misses).
+    for _ in 0..10 {
+        m.access(CpuId(0), A, true);
+        m.access(CpuId(4), A, false);
+    }
+    assert_eq!(
+        m.metrics().relocation_interrupts,
+        interrupts,
+        "S-COMA-mode coherence misses must not re-trigger"
+    );
+}

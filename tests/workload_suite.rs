@@ -1,0 +1,116 @@
+//! Suite-wide sanity invariants: every Table-3 application on every
+//! protocol produces self-consistent metrics.
+
+use rnuma::config::{MachineConfig, Protocol};
+use rnuma::experiment::run;
+use rnuma::metrics::Metrics;
+use rnuma_workloads::{by_name, Scale, APP_NAMES};
+
+fn metrics(app: &str, protocol: Protocol) -> Metrics {
+    let mut w = by_name(app, Scale::Tiny).expect("known app");
+    run(MachineConfig::paper_base(protocol), &mut w).metrics
+}
+
+#[test]
+fn every_app_runs_and_reports_consistent_counts() {
+    for app in APP_NAMES {
+        for protocol in [
+            Protocol::ideal(),
+            Protocol::paper_ccnuma(),
+            Protocol::paper_scoma(),
+            Protocol::paper_rnuma(),
+        ] {
+            let m = metrics(app, protocol);
+            assert!(m.references() > 0, "{app}/{protocol}: no references");
+            assert!(m.exec_cycles.0 > 0, "{app}/{protocol}: no time");
+            assert_eq!(
+                m.l1_hits + m.l1_misses,
+                m.references(),
+                "{app}/{protocol}: hit/miss accounting broken"
+            );
+            assert!(
+                m.refetches <= m.remote_fetches,
+                "{app}/{protocol}: more refetches than fetches"
+            );
+            assert!(
+                m.l1_hit_rate() > 0.0 && m.l1_hit_rate() < 1.0,
+                "{app}/{protocol}: implausible L1 rate {}",
+                m.l1_hit_rate()
+            );
+            assert_eq!(m.per_cpu_cycles.len(), 32);
+            assert!(m.shared_pages() > 0, "{app}: nothing was shared");
+        }
+    }
+}
+
+#[test]
+fn protocol_structures_match_modes() {
+    for app in APP_NAMES {
+        // CC-NUMA never uses a page cache; S-COMA never a block cache.
+        let cc = metrics(app, Protocol::paper_ccnuma());
+        assert_eq!(cc.page_cache_hits, 0, "{app}: CC-NUMA page-cache hits");
+        assert_eq!(cc.os.relocations, 0);
+        assert_eq!(cc.os.page_replacements, 0);
+
+        let sc = metrics(app, Protocol::paper_scoma());
+        assert_eq!(sc.block_cache_hits, 0, "{app}: S-COMA block-cache hits");
+        assert_eq!(sc.os.relocations, 0);
+
+        let ideal = metrics(app, Protocol::ideal());
+        assert_eq!(ideal.refetches, 0, "{app}: the ideal machine refetched");
+    }
+}
+
+#[test]
+fn rnuma_is_never_catastrophically_worse_than_the_best() {
+    // The paper's stability claim, with the analytical bound (2–3x) as
+    // the acceptance threshold at Tiny scale.
+    for app in APP_NAMES {
+        let cc = metrics(app, Protocol::paper_ccnuma()).exec_cycles.0 as f64;
+        let sc = metrics(app, Protocol::paper_scoma()).exec_cycles.0 as f64;
+        let rn = metrics(app, Protocol::paper_rnuma()).exec_cycles.0 as f64;
+        let best = cc.min(sc);
+        assert!(
+            rn <= best * 3.0,
+            "{app}: R-NUMA {rn} vs best {best} breaks the competitive bound"
+        );
+    }
+}
+
+#[test]
+fn first_touch_limits_remote_traffic() {
+    // With first-touch placement, a large majority of references must
+    // be satisfied without crossing the network for every application.
+    for app in APP_NAMES {
+        let m = metrics(app, Protocol::paper_ccnuma());
+        let remote_fraction = m.remote_fetches as f64 / m.references() as f64;
+        assert!(
+            remote_fraction < 0.5,
+            "{app}: {:.0}% of references went remote",
+            remote_fraction * 100.0
+        );
+    }
+}
+
+#[test]
+fn communication_heavy_apps_relocate_little() {
+    let em3d = metrics("em3d", Protocol::paper_rnuma());
+    let fft = metrics("fft", Protocol::paper_rnuma());
+    // The paper: em3d and fft behave like CC-NUMA under R-NUMA.
+    for (name, m) in [("em3d", &em3d), ("fft", &fft)] {
+        assert!(
+            m.os.relocations < 200,
+            "{name} should not relocate heavily: {}",
+            m.os.relocations
+        );
+    }
+}
+
+#[test]
+fn reuse_heavy_apps_relocate_and_benefit() {
+    for app in ["barnes", "moldyn", "lu"] {
+        let rn = metrics(app, Protocol::paper_rnuma());
+        assert!(rn.os.relocations > 0, "{app} must relocate reuse pages");
+        assert!(rn.page_cache_hits > 0, "{app} must hit relocated pages");
+    }
+}
