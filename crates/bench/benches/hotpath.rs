@@ -1,0 +1,45 @@
+//! Micro-benchmark of the `Machine::access` hot path.
+//!
+//! Measures end-to-end simulator throughput (references per wall-clock
+//! second) for each protocol on a synthetic mixed stream, plus the
+//! translation-table microbenchmark: the open-addressed FxHash map that
+//! now sits on the reference walk against the `std::collections`
+//! `HashMap` it replaced, probed with the same key stream. Results are
+//! recorded in `results/BENCH_hotpath.json` so subsequent PRs have a
+//! throughput trajectory to beat.
+//!
+//! Run with: `cargo bench -p rnuma-bench --bench hotpath`
+
+use rnuma_bench::hotpath;
+
+fn main() {
+    // ~200k references keeps a full run under a minute in bench builds
+    // while exercising faults, refetches, and relocations.
+    let report = hotpath::measure(200_000);
+
+    println!(
+        "Machine::access throughput (synthetic mixed stream, {} refs):",
+        report.stream_refs
+    );
+    for p in &report.protocols {
+        println!("  {:10} {:>12.0} refs/sec", p.label, p.refs_per_sec);
+    }
+    println!(
+        "translation tables: HashMap {:.2} ns/lookup, FxMap {:.2} ns/lookup ({:.2}x speedup)",
+        report.hashmap_ns_per_lookup,
+        report.fxmap_ns_per_lookup,
+        report.lookup_speedup()
+    );
+    println!(
+        "MRU fast path: {:.1}% of L1-miss translations served without a table walk",
+        report.mru_hit_rate * 100.0
+    );
+    let target = 2.0;
+    if report.lookup_speedup() >= target {
+        println!("hot-path acceptance: PASS (>= {target}x over the HashMap baseline)");
+    } else {
+        println!("hot-path acceptance: BELOW TARGET ({target}x) — check host load");
+    }
+
+    report.emit();
+}

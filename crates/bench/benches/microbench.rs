@@ -123,8 +123,7 @@ fn bench_machine(c: &mut Criterion) {
         ("rnuma", Protocol::paper_rnuma()),
     ] {
         group.bench_function(format!("ref_throughput_{label}"), |b| {
-            let mut machine =
-                Machine::new(MachineConfig::paper_base(protocol)).expect("valid");
+            let mut machine = Machine::new(MachineConfig::paper_base(protocol)).expect("valid");
             // Pre-home the pages.
             for p in 0..64u64 {
                 machine.access(CpuId(0), Va(0x10000 + p * 4096), true);

@@ -7,7 +7,7 @@
 //! selection, normalized per application to LRM.
 
 use rnuma::config::{MachineConfig, Protocol};
-use rnuma_bench::{apps, parse_scale, run_app_config, save, TextTable};
+use rnuma_bench::{apps, parse_scale, run_grid, save, TextTable};
 use rnuma_mem::page_cache::ReplacementPolicy;
 
 const POLICIES: [(&str, ReplacementPolicy); 3] = [
@@ -20,27 +20,37 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = parse_scale(&args);
 
-    let mut out = String::new();
-    let mut csv = String::from("app,protocol,policy,cycles\n");
-    for (label, protocol) in [
+    let protocols = [
         ("S-COMA", Protocol::paper_scoma()),
         ("R-NUMA", Protocol::paper_rnuma()),
-    ] {
+    ];
+    // One batch for all (protocol, policy) columns: the parallel
+    // driver's end-of-batch straggler wait is paid once, not per
+    // protocol. Row layout: protocol-major, policy-minor.
+    let configs: Vec<MachineConfig> = protocols
+        .iter()
+        .flat_map(|&(_, protocol)| {
+            POLICIES.iter().map(move |&(_, policy)| {
+                let mut config = MachineConfig::paper_base(protocol);
+                config.page_policy = policy;
+                config
+            })
+        })
+        .collect();
+    let grid = run_grid(apps(), &configs, scale);
+
+    let mut out = String::new();
+    let mut csv = String::from("app,protocol,policy,cycles\n");
+    for (p_idx, (label, _)) in protocols.iter().enumerate() {
         let mut t = TextTable::new(&format!(
             "{label}: application      LRM     FIFO   Random   (normalized to LRM)"
         ));
-        for app in apps() {
+        for (app, row) in apps().iter().zip(&grid) {
             let cycles: Vec<u64> = POLICIES
                 .iter()
-                .map(|&(_, policy)| {
-                    let mut config = MachineConfig::paper_base(protocol);
-                    config.page_policy = policy;
-                    let report = run_app_config(app, config, scale);
-                    csv.push_str(&format!(
-                        "{app},{label},{:?},{}\n",
-                        policy,
-                        report.cycles()
-                    ));
+                .zip(&row[p_idx * POLICIES.len()..])
+                .map(|(&(_, policy), report)| {
+                    csv.push_str(&format!("{app},{label},{:?},{}\n", policy, report.cycles()));
                     report.cycles()
                 })
                 .collect();

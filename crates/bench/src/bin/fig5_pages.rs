@@ -7,7 +7,7 @@
 //! capacity/conflict misses).
 
 use rnuma::config::Protocol;
-use rnuma_bench::{apps, parse_scale, run_app, save, TextTable};
+use rnuma_bench::{apps, parse_scale, run_protocol_grid, save, TextTable};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -18,11 +18,15 @@ fn main() {
         "application   refetches | cumulative % of refetches at top {5,10,20,30,50,70,100}% of remote pages",
     );
     let mut csv = String::from("app,page_fraction,refetch_fraction\n");
-    for app in apps() {
-        let report = run_app(app, Protocol::paper_ccnuma(), scale);
+    let grid = run_protocol_grid(apps(), &[Protocol::paper_ccnuma()], scale);
+    for (app, row) in apps().iter().zip(&grid) {
+        let report = &row[0];
         let cdf = report.metrics.refetch_cdf();
         if *app == "fft" || cdf.total() == 0 {
-            t.row(format!("{app:12} {:10} | (omitted: no capacity/conflict misses)", cdf.total()));
+            t.row(format!(
+                "{app:12} {:10} | (omitted: no capacity/conflict misses)",
+                cdf.total()
+            ));
             continue;
         }
         let cells: Vec<String> = fractions

@@ -2,24 +2,34 @@
 //!
 //! CC-NUMA (32-KB block cache) vs S-COMA (320-KB page cache) vs R-NUMA
 //! (128-B block cache, 320-KB page cache, threshold 64), normalized to
-//! the ideal CC-NUMA with an infinite block cache.
+//! the ideal CC-NUMA with an infinite block cache. All 40
+//! `(application, protocol)` simulations run in parallel across the
+//! host's cores.
 
 use rnuma::config::Protocol;
-use rnuma_bench::{apps, bar, parse_scale, run_app, save, TextTable};
+use rnuma_bench::{apps, bar, parse_scale, run_protocol_grid, save, TextTable};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = parse_scale(&args);
 
+    let protocols = [
+        Protocol::ideal(),
+        Protocol::paper_ccnuma(),
+        Protocol::paper_scoma(),
+        Protocol::paper_rnuma(),
+    ];
+    let grid = run_protocol_grid(apps(), &protocols, scale);
+
     let mut t = TextTable::new("application   CC-NUMA   S-COMA   R-NUMA   (normalized to ideal)");
     let mut csv = String::from("app,ccnuma,scoma,rnuma\n");
     let mut chart = String::new();
     let mut worst_rnuma_gap: (f64, &str) = (0.0, "-");
-    for app in apps() {
-        let ideal = run_app(app, Protocol::ideal(), scale).cycles() as f64;
-        let cc = run_app(app, Protocol::paper_ccnuma(), scale).cycles() as f64 / ideal;
-        let sc = run_app(app, Protocol::paper_scoma(), scale).cycles() as f64 / ideal;
-        let rn = run_app(app, Protocol::paper_rnuma(), scale).cycles() as f64 / ideal;
+    for (app, row) in apps().iter().zip(&grid) {
+        let ideal = row[0].cycles() as f64;
+        let cc = row[1].cycles() as f64 / ideal;
+        let sc = row[2].cycles() as f64 / ideal;
+        let rn = row[3].cycles() as f64 / ideal;
         t.row(format!("{app:12} {cc:8.2} {sc:8.2} {rn:8.2}"));
         csv.push_str(&format!("{app},{cc:.4},{sc:.4},{rn:.4}\n"));
         chart.push_str(&format!(

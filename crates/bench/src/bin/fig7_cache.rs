@@ -5,14 +5,19 @@
 //! all normalized to the ideal infinite-block-cache machine.
 
 use rnuma::config::Protocol;
-use rnuma_bench::{apps, parse_scale, run_app, save, TextTable};
+use rnuma_bench::{apps, parse_scale, run_protocol_grid, save, TextTable};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = parse_scale(&args);
 
     let configs: [(&str, Protocol); 5] = [
-        ("CC b=1K", Protocol::CcNuma { block_cache_bytes: Some(1024) }),
+        (
+            "CC b=1K",
+            Protocol::CcNuma {
+                block_cache_bytes: Some(1024),
+            },
+        ),
         ("CC b=32K", Protocol::paper_ccnuma()),
         ("RN b=128,p=320K", Protocol::paper_rnuma()),
         (
@@ -33,16 +38,17 @@ fn main() {
         ),
     ];
 
-    let mut t = TextTable::new(
-        "application   CC b=1K   CC b=32K   RN 128/320K   RN 32K/320K   RN 128/40M",
-    );
+    // One parallel batch: ideal baseline first, then the five variants.
+    let mut protocols = vec![Protocol::ideal()];
+    protocols.extend(configs.iter().map(|&(_, p)| p));
+    let grid = run_protocol_grid(apps(), &protocols, scale);
+
+    let mut t =
+        TextTable::new("application   CC b=1K   CC b=32K   RN 128/320K   RN 32K/320K   RN 128/40M");
     let mut csv = String::from("app,cc_1k,cc_32k,rn_128_320k,rn_32k_320k,rn_128_40m\n");
-    for app in apps() {
-        let ideal = run_app(app, Protocol::ideal(), scale).cycles() as f64;
-        let values: Vec<f64> = configs
-            .iter()
-            .map(|&(_, p)| run_app(app, p, scale).cycles() as f64 / ideal)
-            .collect();
+    for (app, row) in apps().iter().zip(&grid) {
+        let ideal = row[0].cycles() as f64;
+        let values: Vec<f64> = row[1..].iter().map(|r| r.cycles() as f64 / ideal).collect();
         t.row(format!(
             "{app:12} {:9.2} {:10.2} {:13.2} {:13.2} {:12.2}",
             values[0], values[1], values[2], values[3], values[4]

@@ -4,7 +4,7 @@
 //! 1024}, normalized to T = 64 per application.
 
 use rnuma::config::Protocol;
-use rnuma_bench::{apps, parse_scale, run_app, save, TextTable};
+use rnuma_bench::{apps, parse_scale, run_protocol_grid, save, TextTable};
 
 const THRESHOLDS: [u32; 4] = [16, 64, 256, 1024];
 
@@ -12,24 +12,21 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = parse_scale(&args);
 
-    let mut t = TextTable::new("application     T=16     T=64    T=256   T=1024   (normalized to T=64)");
+    let protocols: Vec<Protocol> = THRESHOLDS
+        .iter()
+        .map(|&threshold| Protocol::RNuma {
+            block_cache_bytes: 128,
+            page_cache_bytes: 320 * 1024,
+            threshold,
+        })
+        .collect();
+    let grid = run_protocol_grid(apps(), &protocols, scale);
+
+    let mut t =
+        TextTable::new("application     T=16     T=64    T=256   T=1024   (normalized to T=64)");
     let mut csv = String::from("app,t16,t64,t256,t1024\n");
-    for app in apps() {
-        let cycles: Vec<f64> = THRESHOLDS
-            .iter()
-            .map(|&threshold| {
-                run_app(
-                    app,
-                    Protocol::RNuma {
-                        block_cache_bytes: 128,
-                        page_cache_bytes: 320 * 1024,
-                        threshold,
-                    },
-                    scale,
-                )
-                .cycles() as f64
-            })
-            .collect();
+    for (app, row) in apps().iter().zip(&grid) {
+        let cycles: Vec<f64> = row.iter().map(|r| r.cycles() as f64).collect();
         let base = cycles[1];
         let norm: Vec<f64> = cycles.iter().map(|c| c / base).collect();
         t.row(format!(

@@ -7,7 +7,7 @@
 //! per-page overhead. All normalized to the ideal CC-NUMA.
 
 use rnuma::config::{MachineConfig, Protocol};
-use rnuma_bench::{apps, parse_scale, run_app, run_app_config, save, TextTable};
+use rnuma_bench::{apps, parse_scale, run_grid, save, TextTable};
 use rnuma_os::CostModel;
 
 fn main() {
@@ -20,18 +20,25 @@ fn main() {
         config
     };
 
+    let configs = [
+        MachineConfig::paper_base(Protocol::ideal()),
+        MachineConfig::paper_base(Protocol::paper_scoma()),
+        soft(Protocol::paper_scoma()),
+        MachineConfig::paper_base(Protocol::paper_rnuma()),
+        soft(Protocol::paper_rnuma()),
+    ];
+    let grid = run_grid(apps(), &configs, scale);
+
     let mut t = TextTable::new(
         "application   S-COMA   S-COMA-SOFT   R-NUMA   R-NUMA-SOFT   (normalized to ideal)",
     );
     let mut csv = String::from("app,scoma,scoma_soft,rnuma,rnuma_soft\n");
-    for app in apps() {
-        let ideal = run_app(app, Protocol::ideal(), scale).cycles() as f64;
-        let sc = run_app(app, Protocol::paper_scoma(), scale).cycles() as f64 / ideal;
-        let sc_soft =
-            run_app_config(app, soft(Protocol::paper_scoma()), scale).cycles() as f64 / ideal;
-        let rn = run_app(app, Protocol::paper_rnuma(), scale).cycles() as f64 / ideal;
-        let rn_soft =
-            run_app_config(app, soft(Protocol::paper_rnuma()), scale).cycles() as f64 / ideal;
+    for (app, row) in apps().iter().zip(&grid) {
+        let ideal = row[0].cycles() as f64;
+        let sc = row[1].cycles() as f64 / ideal;
+        let sc_soft = row[2].cycles() as f64 / ideal;
+        let rn = row[3].cycles() as f64 / ideal;
+        let rn_soft = row[4].cycles() as f64 / ideal;
         t.row(format!(
             "{app:12} {sc:8.2} {sc_soft:13.2} {rn:8.2} {rn_soft:13.2}"
         ));

@@ -26,9 +26,7 @@ fn main() {
             p.worst_case_bound()
         ));
 
-        let mut t = TextTable::new(
-            "      T   EQ1 (vs CC-NUMA)   EQ2 (vs S-COMA)   worst case",
-        );
+        let mut t = TextTable::new("      T   EQ1 (vs CC-NUMA)   EQ2 (vs S-COMA)   worst case");
         for &threshold in &[1.0, 4.0, 8.0, 16.0, 19.2, 32.0, 64.0, 128.0, 256.0, 1024.0] {
             t.row(format!(
                 "{threshold:7.1} {:17.3} {:17.3} {:12.3}",

@@ -10,12 +10,30 @@ use rnuma_os::CostModel;
 fn main() {
     let costs = CostModel::base();
     let mut t = TextTable::new("operation                          cost (processor cycles)");
-    t.row(format!("SRAM access                        {}", costs.sram_access.0));
-    t.row(format!("DRAM access                        {}", costs.dram_access.0));
-    t.row(format!("local cache fill                   {}", costs.local_cache_fill.0));
-    t.row(format!("remote fetch                       {}", costs.remote_fetch.0));
-    t.row(format!("soft trap                          {}", costs.soft_trap.0));
-    t.row(format!("TLB shootdown                      {}", costs.tlb_shootdown.0));
+    t.row(format!(
+        "SRAM access                        {}",
+        costs.sram_access.0
+    ));
+    t.row(format!(
+        "DRAM access                        {}",
+        costs.dram_access.0
+    ));
+    t.row(format!(
+        "local cache fill                   {}",
+        costs.local_cache_fill.0
+    ));
+    t.row(format!(
+        "remote fetch                       {}",
+        costs.remote_fetch.0
+    ));
+    t.row(format!(
+        "soft trap                          {}",
+        costs.soft_trap.0
+    ));
+    t.row(format!(
+        "TLB shootdown                      {}",
+        costs.tlb_shootdown.0
+    ));
     t.row(format!(
         "page allocation/replacement        {}~{}",
         costs.page_allocation(0).0,

@@ -2,7 +2,7 @@
 //! counts at the selected scale.
 
 use rnuma::config::Protocol;
-use rnuma_bench::{apps, parse_scale, run_app, save, TextTable};
+use rnuma_bench::{apps, parse_scale, run_protocol_grid, save, TextTable};
 use rnuma_workloads::input_description;
 
 fn main() {
@@ -12,8 +12,9 @@ fn main() {
         "application  input (Table 3)                                               references   shared pages",
     );
     let mut csv = String::from("app,references,shared_pages\n");
-    for app in apps() {
-        let report = run_app(app, Protocol::ideal(), scale);
+    let grid = run_protocol_grid(apps(), &[Protocol::ideal()], scale);
+    for (app, row) in apps().iter().zip(&grid) {
+        let report = &row[0];
         let refs = report.metrics.references();
         let pages = report.metrics.shared_pages();
         t.row(format!(

@@ -7,7 +7,7 @@
 //! threshold 64).
 
 use rnuma::config::Protocol;
-use rnuma_bench::{apps, parse_scale, run_app, save, TextTable};
+use rnuma_bench::{apps, parse_scale, run_protocol_grid, save, TextTable};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -16,10 +16,17 @@ fn main() {
         "application   CC-NUMA RW pages   R-NUMA refetches (% of CC)   R-NUMA replacements (% of S-COMA)",
     );
     let mut csv = String::from("app,rw_page_fraction,rnuma_refetch_pct,rnuma_replacement_pct\n");
-    for app in apps() {
-        let cc = run_app(app, Protocol::paper_ccnuma(), scale);
-        let sc = run_app(app, Protocol::paper_scoma(), scale);
-        let rn = run_app(app, Protocol::paper_rnuma(), scale);
+    let grid = run_protocol_grid(
+        apps(),
+        &[
+            Protocol::paper_ccnuma(),
+            Protocol::paper_scoma(),
+            Protocol::paper_rnuma(),
+        ],
+        scale,
+    );
+    for (app, row) in apps().iter().zip(&grid) {
+        let (cc, sc, rn) = (&row[0], &row[1], &row[2]);
 
         let rw = cc.metrics.rw_page_refetch_fraction() * 100.0;
         let refetch_pct = if cc.metrics.refetches == 0 {
@@ -30,8 +37,7 @@ fn main() {
         let repl_pct = if sc.metrics.os.page_replacements == 0 {
             f64::NAN
         } else {
-            rn.metrics.os.page_replacements as f64 / sc.metrics.os.page_replacements as f64
-                * 100.0
+            rn.metrics.os.page_replacements as f64 / sc.metrics.os.page_replacements as f64 * 100.0
         };
         t.row(format!(
             "{app:12} {rw:14.0}% {refetch_pct:24.0}% {repl_pct:30.0}%"

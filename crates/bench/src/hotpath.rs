@@ -1,0 +1,301 @@
+//! Hot-path throughput measurement and the `BENCH_hotpath.json` emitter.
+//!
+//! Simulator throughput — references retired per wall-clock second
+//! through [`rnuma::machine::Machine::access`] — bounds every experiment
+//! in this workspace, so each optimization PR needs a number to beat.
+//! This module provides:
+//!
+//! * a deterministic synthetic reference stream that exercises the full
+//!   walk (L1 hits, local fills, block/page-cache hits, remote
+//!   fetches);
+//! * per-protocol `refs/sec` measurement of the assembled machine;
+//! * a microbenchmark of the translation structures themselves — the
+//!   open-addressed [`rnuma_mem::fxmap::FxMap64`] against the
+//!   `std::collections::HashMap` it replaced, on the same key stream —
+//!   which isolates the table swap's speedup;
+//! * [`HotpathReport::emit`], which records everything in
+//!   `results/BENCH_hotpath.json` so subsequent PRs have a perf
+//!   trajectory.
+
+use rnuma::config::{MachineConfig, Protocol};
+use rnuma::machine::Machine;
+use rnuma_mem::addr::{CpuId, Va};
+use rnuma_mem::fxmap::FxMap64;
+use rnuma_sim::DetRng;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One synthetic memory reference.
+pub type Ref = (CpuId, Va, bool);
+
+/// Generates a deterministic reference stream with the locality mix of
+/// the paper's applications: mostly streaming within a working set of
+/// shared pages, ~10% writes, CPU switched every few references so
+/// cross-node sharing and refetches occur.
+#[must_use]
+pub fn synth_stream(refs: usize, pages: u64, cpus: u16) -> Vec<Ref> {
+    let mut rng = DetRng::seeded(0x5EED_CAFE);
+    let mut out = Vec::with_capacity(refs);
+    let mut cpu = CpuId(0);
+    let mut page = 0u64;
+    let mut offset = 0u64;
+    for i in 0..refs {
+        // Re-home the stream periodically: new CPU, new page.
+        if i % 24 == 0 {
+            cpu = CpuId(rng.range_u64(0, u64::from(cpus)) as u16);
+            page = rng.range_u64(0, pages);
+            offset = rng.range_u64(0, 128) * 32;
+        } else {
+            // Stride within the page; wraps keep the VA on-page.
+            offset = (offset + 32) % 4096;
+        }
+        let write = rng.chance(0.1);
+        out.push((cpu, Va(page * 4096 + offset), write));
+    }
+    out
+}
+
+/// Replays `stream` on a fresh machine and reports references per
+/// wall-clock second. The replay repeats until at least ~0.2 s of work
+/// has been timed, so short streams still measure stably.
+///
+/// # Panics
+///
+/// Panics if the stream is empty or the configuration is invalid.
+#[must_use]
+pub fn machine_refs_per_sec(protocol: Protocol, stream: &[Ref]) -> f64 {
+    assert!(!stream.is_empty(), "empty reference stream");
+    let mut total_refs = 0u64;
+    let mut total_secs = 0.0f64;
+    while total_secs < 0.2 {
+        let mut machine =
+            Machine::new(MachineConfig::paper_base(protocol)).expect("valid paper config");
+        let t0 = Instant::now();
+        for &(cpu, va, write) in stream {
+            machine.access(cpu, va, write);
+        }
+        total_secs += t0.elapsed().as_secs_f64();
+        total_refs += stream.len() as u64;
+        // Keep the machine's final state observable.
+        std::hint::black_box(machine.metrics().l1_hits);
+    }
+    total_refs as f64 / total_secs
+}
+
+/// MRU fast-path hit rate of one replay of `stream` (hits per L1 miss).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+#[must_use]
+pub fn mru_hit_rate(protocol: Protocol, stream: &[Ref]) -> f64 {
+    let mut machine =
+        Machine::new(MachineConfig::paper_base(protocol)).expect("valid paper config");
+    for &(cpu, va, write) in stream {
+        machine.access(cpu, va, write);
+    }
+    let m = machine.metrics();
+    if m.l1_misses == 0 {
+        0.0
+    } else {
+        m.mru_translation_hits as f64 / m.l1_misses as f64
+    }
+}
+
+/// ns-per-lookup comparison of `std::collections::HashMap` (the old hot
+/// path) against [`FxMap64`] (the new one) on `keys`: each map is
+/// pre-populated with the key set, then probed in stream order.
+///
+/// Returns `(hashmap_ns, fxmap_ns)`.
+///
+/// # Panics
+///
+/// Panics if `keys` is empty.
+#[must_use]
+pub fn lookup_ns_comparison(keys: &[u64]) -> (f64, f64) {
+    assert!(!keys.is_empty(), "empty key stream");
+    let mut std_map: HashMap<u64, u64> = HashMap::new();
+    let mut fx_map: FxMap64<u64> = FxMap64::new();
+    for &k in keys {
+        std_map.insert(k, k ^ 1);
+        fx_map.insert(k, k ^ 1);
+    }
+    let time_probes = |probe: &mut dyn FnMut(u64) -> u64| -> f64 {
+        // Warm up, then time enough rounds for a stable figure.
+        let mut acc = 0u64;
+        for &k in keys {
+            acc = acc.wrapping_add(probe(k));
+        }
+        let rounds = (2_000_000 / keys.len()).max(1);
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            for &k in keys {
+                acc = acc.wrapping_add(probe(k));
+            }
+        }
+        let elapsed = t0.elapsed().as_nanos() as f64;
+        std::hint::black_box(acc);
+        elapsed / (rounds * keys.len()) as f64
+    };
+    let std_ns = time_probes(&mut |k| std_map.get(&k).copied().unwrap_or(0));
+    let fx_ns = time_probes(&mut |k| fx_map.get(k).copied().unwrap_or(0));
+    (std_ns, fx_ns)
+}
+
+/// One protocol's measured simulator throughput.
+#[derive(Clone, Debug)]
+pub struct ProtocolThroughput {
+    /// Protocol label ("ideal", "CC-NUMA", ...).
+    pub label: &'static str,
+    /// References retired per wall-clock second.
+    pub refs_per_sec: f64,
+}
+
+/// Everything `BENCH_hotpath.json` records.
+#[derive(Clone, Debug)]
+pub struct HotpathReport {
+    /// References in the synthetic stream.
+    pub stream_refs: usize,
+    /// Per-protocol machine throughput.
+    pub protocols: Vec<ProtocolThroughput>,
+    /// ns/lookup through `std::collections::HashMap` (old hot path).
+    pub hashmap_ns_per_lookup: f64,
+    /// ns/lookup through the open-addressed `FxMap` (new hot path).
+    pub fxmap_ns_per_lookup: f64,
+    /// MRU translation fast-path hit rate per L1 miss (R-NUMA run).
+    pub mru_hit_rate: f64,
+}
+
+impl HotpathReport {
+    /// Table-lookup speedup of the new hot path over the HashMap
+    /// baseline.
+    #[must_use]
+    pub fn lookup_speedup(&self) -> f64 {
+        self.hashmap_ns_per_lookup / self.fxmap_ns_per_lookup
+    }
+
+    /// Renders the report as JSON (hand-rolled: the workspace carries no
+    /// serialization dependency).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"stream_refs\": {},", self.stream_refs);
+        let _ = writeln!(s, "  \"refs_per_sec\": {{");
+        for (i, p) in self.protocols.iter().enumerate() {
+            let comma = if i + 1 < self.protocols.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "    \"{}\": {:.0}{comma}", p.label, p.refs_per_sec);
+        }
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(
+            s,
+            "  \"hashmap_ns_per_lookup\": {:.2},",
+            self.hashmap_ns_per_lookup
+        );
+        let _ = writeln!(
+            s,
+            "  \"fxmap_ns_per_lookup\": {:.2},",
+            self.fxmap_ns_per_lookup
+        );
+        let _ = writeln!(s, "  \"lookup_speedup\": {:.2},", self.lookup_speedup());
+        let _ = writeln!(s, "  \"mru_hit_rate\": {:.4}", self.mru_hit_rate);
+        s.push('}');
+        s
+    }
+
+    /// Writes `results/BENCH_hotpath.json` (creating the directory) and
+    /// echoes the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors.
+    pub fn emit(&self) {
+        crate::save("BENCH_hotpath.json", &self.to_json());
+    }
+}
+
+/// Runs the full hot-path measurement suite.
+///
+/// # Panics
+///
+/// Panics if any configuration fails validation.
+#[must_use]
+pub fn measure(stream_refs: usize) -> HotpathReport {
+    // 64 pages × 8 nodes: working set overflows the 128-B R-NUMA block
+    // cache (forcing refetches and relocations) but fits the page cache.
+    let stream = synth_stream(stream_refs, 64, 32);
+    let protocols: [(&'static str, Protocol); 4] = [
+        ("ideal", Protocol::ideal()),
+        ("CC-NUMA", Protocol::paper_ccnuma()),
+        ("S-COMA", Protocol::paper_scoma()),
+        ("R-NUMA", Protocol::paper_rnuma()),
+    ];
+    let throughput = protocols
+        .iter()
+        .map(|&(label, p)| ProtocolThroughput {
+            label,
+            refs_per_sec: machine_refs_per_sec(p, &stream),
+        })
+        .collect();
+    // The translation keys the machine actually resolves: page numbers
+    // in stream order.
+    let keys: Vec<u64> = stream.iter().map(|&(_, va, _)| va.vpage().0).collect();
+    let (hashmap_ns, fxmap_ns) = lookup_ns_comparison(&keys);
+    HotpathReport {
+        stream_refs,
+        protocols: throughput,
+        hashmap_ns_per_lookup: hashmap_ns,
+        fxmap_ns_per_lookup: fxmap_ns,
+        mru_hit_rate: mru_hit_rate(Protocol::paper_rnuma(), &stream),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_in_range() {
+        let a = synth_stream(1000, 16, 32);
+        let b = synth_stream(1000, 16, 32);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&(cpu, va, _)| cpu.0 < 32 && va.0 < 16 * 4096));
+    }
+
+    #[test]
+    fn machine_replay_produces_throughput() {
+        let stream = synth_stream(2000, 8, 32);
+        let rps = machine_refs_per_sec(Protocol::paper_ccnuma(), &stream);
+        assert!(rps > 0.0 && rps.is_finite());
+    }
+
+    #[test]
+    fn json_shape_is_sane() {
+        let report = HotpathReport {
+            stream_refs: 10,
+            protocols: vec![ProtocolThroughput {
+                label: "ideal",
+                refs_per_sec: 1e6,
+            }],
+            hashmap_ns_per_lookup: 20.0,
+            fxmap_ns_per_lookup: 5.0,
+            mru_hit_rate: 0.9,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"ideal\": 1000000"));
+        assert!(json.contains("\"lookup_speedup\": 4.00"));
+        assert!((report.lookup_speedup() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mru_rate_is_a_fraction() {
+        let stream = synth_stream(2000, 8, 32);
+        let rate = mru_hit_rate(Protocol::paper_rnuma(), &stream);
+        assert!((0.0..=1.0).contains(&rate));
+    }
+}

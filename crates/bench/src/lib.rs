@@ -23,10 +23,12 @@
 #![warn(missing_docs)]
 
 use rnuma::config::{MachineConfig, Protocol};
-use rnuma::experiment::{run, RunReport};
+use rnuma::experiment::{run, run_parallel, RunReport};
 use rnuma_workloads::{by_name, Scale, APP_NAMES};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+
+pub mod hotpath;
 
 /// Parses `--scale` from argv; defaults to the paper's inputs.
 ///
@@ -53,8 +55,8 @@ pub fn parse_scale(args: &[String]) -> Scale {
 /// Panics if the directory cannot be created.
 #[must_use]
 pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("RNUMA_RESULTS_DIR")
-        .map_or_else(|_| PathBuf::from("results"), PathBuf::from);
+    let dir =
+        std::env::var("RNUMA_RESULTS_DIR").map_or_else(|_| PathBuf::from("results"), PathBuf::from);
     std::fs::create_dir_all(&dir).expect("cannot create results directory");
     dir
 }
@@ -96,6 +98,61 @@ pub fn run_app_config(app: &str, config: MachineConfig, scale: Scale) -> RunRepo
 #[must_use]
 pub fn apps() -> &'static [&'static str] {
     &APP_NAMES
+}
+
+/// Runs every `(application, configuration)` pair of the grid in
+/// parallel across the host's cores, one simulation per pair.
+///
+/// Returns one row per application (in `apps` order); row `i` holds one
+/// [`RunReport`] per configuration (in `configs` order). Each report is
+/// bit-identical to a serial `run_app_config` of the same pair — every
+/// simulation owns its machine, so the figure binaries built on this
+/// produce exactly the numbers the serial loops did, just
+/// `available_parallelism()` times faster.
+///
+/// # Panics
+///
+/// Panics if any `app` is not a Table-3 application.
+#[must_use]
+pub fn run_grid(
+    apps: &[&'static str],
+    configs: &[MachineConfig],
+    scale: Scale,
+) -> Vec<Vec<RunReport>> {
+    let jobs: Vec<(&'static str, MachineConfig)> = apps
+        .iter()
+        .flat_map(|&app| configs.iter().map(move |&c| (app, c)))
+        .collect();
+    let reports = run_parallel(&jobs, |&(app, config)| {
+        (
+            config,
+            by_name(app, scale).unwrap_or_else(|| panic!("unknown app {app}")),
+        )
+    });
+    let mut rows = Vec::with_capacity(apps.len());
+    let mut it = reports.into_iter();
+    for _ in apps {
+        rows.push(it.by_ref().take(configs.len()).collect());
+    }
+    rows
+}
+
+/// [`run_grid`] over protocols on the paper's base machine.
+///
+/// # Panics
+///
+/// Panics if any `app` is not a Table-3 application.
+#[must_use]
+pub fn run_protocol_grid(
+    apps: &[&'static str],
+    protocols: &[Protocol],
+    scale: Scale,
+) -> Vec<Vec<RunReport>> {
+    let configs: Vec<MachineConfig> = protocols
+        .iter()
+        .map(|&p| MachineConfig::paper_base(p))
+        .collect();
+    run_grid(apps, &configs, scale)
 }
 
 /// Renders a unit-scaled horizontal ASCII bar.

@@ -201,14 +201,10 @@ impl MachineConfig {
             }
             Protocol::RNuma {
                 block_cache_bytes, ..
-            } if block_cache_bytes < 32 => {
-                Err(ConfigError("block cache smaller than one line"))
-            }
+            } if block_cache_bytes < 32 => Err(ConfigError("block cache smaller than one line")),
             Protocol::RNuma {
                 page_cache_bytes, ..
-            } if page_cache_bytes < 4096 => {
-                Err(ConfigError("page cache smaller than one page"))
-            }
+            } if page_cache_bytes < 4096 => Err(ConfigError("page cache smaller than one page")),
             Protocol::RNuma { threshold: 0, .. } => {
                 Err(ConfigError("relocation threshold must be at least 1"))
             }

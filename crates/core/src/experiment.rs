@@ -5,11 +5,24 @@
 //! to the ideal CC-NUMA (infinite block cache). [`run`] performs one
 //! such run; [`run_normalized`] performs a batch against the ideal
 //! baseline.
+//!
+//! # Parallel batches
+//!
+//! Each simulation is a pure function of its `(config, workload)` pair
+//! and owns its [`Machine`], so batches are embarrassingly parallel.
+//! [`run_parallel`] fans a job list out over the host's cores with
+//! scoped threads: every job still runs exactly the serial code path on
+//! its own machine, so per-run metrics are bit-identical to a serial
+//! execution ([`run_normalized_serial`] exists as the reference
+//! implementation, and the workspace determinism tests compare the
+//! two).
 
 use crate::config::MachineConfig;
 use crate::machine::Machine;
 use crate::metrics::Metrics;
 use crate::program::{Runner, Workload};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// The result of one (configuration, workload) simulation.
 #[derive(Clone, Debug)]
@@ -64,35 +77,132 @@ pub struct NormalizedReport {
     pub normalized_time: f64,
 }
 
-/// Runs `workload` on each configuration and normalizes execution times
-/// to the first configuration in `configs` (conventionally the ideal
-/// machine).
+/// Runs one simulation per job, fanned out over the host's cores.
+///
+/// `make` turns a job description into a `(config, workload)` pair *on
+/// the worker thread*, so workloads never cross threads (they may hold
+/// non-`Send` state). Results come back in job order, and each is
+/// bit-identical to what a serial `run` of the same pair produces —
+/// runs share nothing.
+///
+/// Set `RNUMA_JOBS=1` (or any number) to override the worker count,
+/// e.g. to force serial execution when profiling.
+///
+/// # Panics
+///
+/// Propagates panics from workload execution.
+pub fn run_parallel<J, W, F>(jobs: &[J], make: F) -> Vec<RunReport>
+where
+    J: Sync,
+    W: Workload,
+    F: Fn(&J) -> (MachineConfig, W) + Sync,
+{
+    let n = jobs.len();
+    let workers = std::env::var("RNUMA_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+        .clamp(1, n.max(1));
+    if n <= 1 || workers == 1 {
+        return jobs
+            .iter()
+            .map(|j| {
+                let (config, mut w) = make(j);
+                run(config, &mut w)
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, RunReport)>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let make = &make;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let (config, mut w) = make(&jobs[i]);
+                let report = run(config, &mut w);
+                if tx.send((i, report)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut results: Vec<Option<RunReport>> = (0..n).map(|_| None).collect();
+    for (i, report) in rx {
+        results[i] = Some(report);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("worker pool covered every job"))
+        .collect()
+}
+
+/// Runs `workload` on each configuration — in parallel across
+/// configurations — and normalizes execution times to the first
+/// configuration in `configs` (conventionally the ideal machine).
 ///
 /// Returns one entry per configuration, in order; the first entry's
-/// `normalized_time` is 1.0 by construction.
+/// `normalized_time` is 1.0 by construction. Every entry is
+/// bit-identical to the serial [`run_normalized_serial`] result.
 ///
 /// # Panics
 ///
 /// Panics if `configs` is empty or the baseline executes in zero cycles.
-pub fn run_normalized<W, F>(configs: &[MachineConfig], mut make_workload: F) -> Vec<NormalizedReport>
+pub fn run_normalized<W, F>(configs: &[MachineConfig], make_workload: F) -> Vec<NormalizedReport>
+where
+    W: Workload,
+    F: Fn() -> W + Sync,
+{
+    assert!(
+        !configs.is_empty(),
+        "need at least a baseline configuration"
+    );
+    let reports = run_parallel(configs, |&config| (config, make_workload()));
+    normalize_to_first(reports)
+}
+
+/// The serial reference implementation of [`run_normalized`]: identical
+/// results, one run at a time. Kept for determinism tests and
+/// single-core profiling.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty or the baseline executes in zero cycles.
+pub fn run_normalized_serial<W, F>(
+    configs: &[MachineConfig],
+    mut make_workload: F,
+) -> Vec<NormalizedReport>
 where
     W: Workload,
     F: FnMut() -> W,
 {
-    assert!(!configs.is_empty(), "need at least a baseline configuration");
-    let mut out = Vec::with_capacity(configs.len());
-    let mut baseline = None;
-    for &config in configs {
-        let report = run(config, &mut make_workload());
-        let cycles = report.cycles();
-        let base = *baseline.get_or_insert(cycles);
-        assert!(base > 0, "baseline executed no cycles");
-        out.push(NormalizedReport {
+    assert!(
+        !configs.is_empty(),
+        "need at least a baseline configuration"
+    );
+    let reports = configs
+        .iter()
+        .map(|&config| run(config, &mut make_workload()))
+        .collect();
+    normalize_to_first(reports)
+}
+
+fn normalize_to_first(reports: Vec<RunReport>) -> Vec<NormalizedReport> {
+    let base = reports[0].cycles();
+    assert!(base > 0, "baseline executed no cycles");
+    reports
+        .into_iter()
+        .map(|report| NormalizedReport {
+            normalized_time: report.cycles() as f64 / base as f64,
             report,
-            normalized_time: cycles as f64 / base as f64,
-        });
-    }
-    out
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -143,6 +253,61 @@ mod tests {
         assert_eq!(a.cycles(), b.cycles());
         assert_eq!(a.metrics.remote_fetches, b.metrics.remote_fetches);
         assert_eq!(a.metrics.refetches, b.metrics.refetches);
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_bit_for_bit() {
+        let configs = [
+            MachineConfig::paper_base(Protocol::ideal()),
+            MachineConfig::paper_base(Protocol::paper_ccnuma()),
+            MachineConfig::paper_base(Protocol::paper_scoma()),
+            MachineConfig::paper_base(Protocol::paper_rnuma()),
+        ];
+        let par = run_normalized(&configs, || Stream { words: 2048 });
+        let ser = run_normalized_serial(&configs, || Stream { words: 2048 });
+        assert_eq!(par.len(), ser.len());
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(p.report.cycles(), s.report.cycles());
+            assert_eq!(p.report.metrics.references(), s.report.metrics.references());
+            assert_eq!(
+                p.report.metrics.remote_fetches,
+                s.report.metrics.remote_fetches
+            );
+            assert_eq!(p.report.metrics.refetches, s.report.metrics.refetches);
+            assert!((p.normalized_time - s.normalized_time).abs() < f64::EPSILON);
+        }
+    }
+
+    #[test]
+    fn run_parallel_preserves_job_order() {
+        let jobs: Vec<u64> = vec![4096, 1024, 2048];
+        let reports = run_parallel(&jobs, |&words| {
+            (
+                MachineConfig::paper_base(Protocol::paper_ccnuma()),
+                Stream { words },
+            )
+        });
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].metrics.references(), 2 * 4096);
+        assert_eq!(reports[1].metrics.references(), 2 * 1024);
+        assert_eq!(reports[2].metrics.references(), 2 * 2048);
+    }
+
+    #[test]
+    fn run_parallel_handles_empty_and_single() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(run_parallel(&empty, |&w| (
+            MachineConfig::paper_base(Protocol::paper_ccnuma()),
+            Stream { words: w }
+        ))
+        .is_empty());
+        let one = run_parallel(&[64u64], |&w| {
+            (
+                MachineConfig::paper_base(Protocol::paper_ccnuma()),
+                Stream { words: w },
+            )
+        });
+        assert_eq!(one.len(), 1);
     }
 
     #[test]

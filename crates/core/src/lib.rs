@@ -71,7 +71,9 @@ pub mod model;
 pub mod program;
 
 pub use config::{MachineConfig, Protocol};
-pub use experiment::{run, run_normalized, NormalizedReport, RunReport};
+pub use experiment::{
+    run, run_normalized, run_normalized_serial, run_parallel, NormalizedReport, RunReport,
+};
 pub use machine::Machine;
 pub use metrics::{Metrics, PageProfile};
 pub use model::ModelParams;

@@ -44,6 +44,28 @@ const HOME_SERVICE: Cycles = Cycles(43);
 /// Bus data-return phase: one 100-MHz bus cycle.
 const BUS_DATA: Cycles = Cycles(4);
 
+/// Per-CPU most-recently-used translation: the last page this CPU
+/// resolved through its node's page table, with the table version the
+/// answer was read under. Repeated references to the same page — the
+/// overwhelmingly common case — skip the table walk entirely; any
+/// `map`/`unmap` on the node bumps the version and invalidates the
+/// entry implicitly.
+#[derive(Clone, Copy, Debug)]
+struct MruTranslation {
+    page: VPage,
+    mapping: Mapping,
+    version: u64,
+}
+
+impl MruTranslation {
+    /// A slot that can never match a real lookup.
+    const INVALID: MruTranslation = MruTranslation {
+        page: VPage(u64::MAX),
+        mapping: Mapping::CcNuma,
+        version: u64::MAX,
+    };
+}
+
 /// One node of the machine.
 struct Node {
     l1s: Vec<L1Cache>,
@@ -90,6 +112,9 @@ pub struct Machine {
     net: Network,
     pages: PageManager,
     clocks: Vec<Cycles>,
+    mru: Vec<MruTranslation>,
+    /// Reusable eviction buffer for page flushes (no per-flush allocs).
+    flush_scratch: Vec<BlockEviction>,
     metrics: Metrics,
 }
 
@@ -103,29 +128,30 @@ impl Machine {
         cfg.validate()?;
         let nodes = (0..cfg.nodes)
             .map(|n| {
-                let (block_cache, page_cache, counters) = match cfg.protocol {
-                    Protocol::CcNuma { block_cache_bytes } => (
-                        Some(block_cache_bytes.map_or_else(BlockCache::infinite, |b| {
-                            BlockCache::direct_mapped(b)
-                        })),
-                        None,
-                        None,
-                    ),
-                    Protocol::SComa { page_cache_bytes } => (
-                        None,
-                        Some(PageCache::with_policy(page_cache_bytes, cfg.page_policy)),
-                        None,
-                    ),
-                    Protocol::RNuma {
-                        block_cache_bytes,
-                        page_cache_bytes,
-                        threshold,
-                    } => (
-                        Some(BlockCache::direct_mapped(block_cache_bytes)),
-                        Some(PageCache::with_policy(page_cache_bytes, cfg.page_policy)),
-                        Some(RefetchCounters::new(threshold)),
-                    ),
-                };
+                let (block_cache, page_cache, counters) =
+                    match cfg.protocol {
+                        Protocol::CcNuma { block_cache_bytes } => (
+                            Some(block_cache_bytes.map_or_else(BlockCache::infinite, |b| {
+                                BlockCache::direct_mapped(b)
+                            })),
+                            None,
+                            None,
+                        ),
+                        Protocol::SComa { page_cache_bytes } => (
+                            None,
+                            Some(PageCache::with_policy(page_cache_bytes, cfg.page_policy)),
+                            None,
+                        ),
+                        Protocol::RNuma {
+                            block_cache_bytes,
+                            page_cache_bytes,
+                            threshold,
+                        } => (
+                            Some(BlockCache::direct_mapped(block_cache_bytes)),
+                            Some(PageCache::with_policy(page_cache_bytes, cfg.page_policy)),
+                            Some(RefetchCounters::new(threshold)),
+                        ),
+                    };
                 Node {
                     l1s: (0..cfg.cpus_per_node)
                         .map(|_| L1Cache::new(cfg.l1_bytes))
@@ -146,6 +172,8 @@ impl Machine {
             net: Network::new(cfg.nodes as usize, cfg.net),
             pages: PageManager::new(cfg.nodes),
             clocks: vec![Cycles::ZERO; cfg.total_cpus() as usize],
+            mru: vec![MruTranslation::INVALID; cfg.total_cpus() as usize],
+            flush_scratch: Vec::new(),
             metrics: Metrics::default(),
             nodes,
             cfg,
@@ -180,11 +208,7 @@ impl Machine {
     /// Synchronizes all CPUs at a barrier: every clock jumps to the
     /// latest arrival plus the configured barrier cost.
     pub fn barrier_all(&mut self) {
-        let max = self
-            .clocks
-            .iter()
-            .copied()
-            .fold(Cycles::ZERO, Cycles::max);
+        let max = self.clocks.iter().copied().fold(Cycles::ZERO, Cycles::max);
         let after = max + self.cfg.barrier_cost;
         for c in &mut self.clocks {
             *c = after;
@@ -214,11 +238,7 @@ impl Machine {
     #[must_use]
     pub fn metrics(&self) -> Metrics {
         let mut m = self.metrics.clone();
-        m.exec_cycles = self
-            .clocks
-            .iter()
-            .copied()
-            .fold(Cycles::ZERO, Cycles::max);
+        m.exec_cycles = self.clocks.iter().copied().fold(Cycles::ZERO, Cycles::max);
         m.per_cpu_cycles = self.clocks.clone();
         m.os = self
             .nodes
@@ -277,14 +297,29 @@ impl Machine {
         self.metrics.l1_misses += 1;
         let mut t = start + Cycles(1);
 
-        // 2. Page mapping; a soft fault maps the page on first touch.
-        let mapping = match self.nodes[node_idx].pt.lookup(page) {
-            Some(m) => m,
-            None => {
-                let (m, fault_end) = self.fault_in_page(node_idx, page, t);
-                t = fault_end;
-                m
-            }
+        // 2. Page translation. The per-CPU MRU entry short-circuits the
+        //    table walk for repeated references to the same page; a soft
+        //    fault maps the page on first touch.
+        let cpu_idx = cpu.0 as usize;
+        let mru = self.mru[cpu_idx];
+        let mapping = if mru.version == self.nodes[node_idx].pt.version() && mru.page == page {
+            self.metrics.mru_translation_hits += 1;
+            mru.mapping
+        } else {
+            let m = match self.nodes[node_idx].pt.lookup(page) {
+                Some(m) => m,
+                None => {
+                    let (m, fault_end) = self.fault_in_page(node_idx, page, t);
+                    t = fault_end;
+                    m
+                }
+            };
+            self.mru[cpu_idx] = MruTranslation {
+                page,
+                mapping: m,
+                version: self.nodes[node_idx].pt.version(),
+            };
+            m
         };
 
         // 3. Node-bus transaction with snoop of the peer caches.
@@ -304,16 +339,30 @@ impl Machine {
         if !write && snoop.supplied_by_cache {
             self.metrics.c2c_transfers += 1;
             t += BUS_DATA;
-            self.fill_l1(node_idx, l1_idx, block, false, rnuma_mem::moesi::Moesi::Shared, t);
+            self.fill_l1(
+                node_idx,
+                l1_idx,
+                block,
+                false,
+                rnuma_mem::moesi::Moesi::Shared,
+                t,
+            );
             return t - start;
         }
 
         // 5. Dispatch on the page's mapping mode.
         let done = match mapping {
             Mapping::Local => self.access_local(node_idx, block, write, snoop.peer_had_copy, t),
-            Mapping::CcNuma => {
-                self.access_ccnuma(node_idx, l1_idx, page, block, write, probe, snoop.peer_had_copy, t)
-            }
+            Mapping::CcNuma => self.access_ccnuma(
+                node_idx,
+                l1_idx,
+                page,
+                block,
+                write,
+                probe,
+                snoop.peer_had_copy,
+                t,
+            ),
             Mapping::SComa(_) => {
                 self.access_scoma(node_idx, l1_idx, page, block, write, snoop.peer_had_copy, t)
             }
@@ -323,7 +372,8 @@ impl Machine {
         //    path fills inside to sequence block-cache evictions).
         match mapping {
             Mapping::Local | Mapping::SComa(_) => {
-                let state = self.fill_state(node_idx, page, block, write, snoop.peer_had_copy);
+                let state =
+                    self.fill_state(node_idx, mapping, page, block, write, snoop.peer_had_copy);
                 self.fill_l1(node_idx, l1_idx, block, write, state, done);
             }
             Mapping::CcNuma => {}
@@ -332,9 +382,12 @@ impl Machine {
     }
 
     /// Chooses the MOESI state for an L1 fill from node-level permission.
+    /// `mapping` is the page's already-resolved translation, so the walk
+    /// is not repeated here.
     fn fill_state(
         &self,
         node_idx: usize,
+        mapping: Mapping,
         page: VPage,
         block: VBlock,
         write: bool,
@@ -348,24 +401,22 @@ impl Machine {
             return Moesi::Shared;
         }
         let node = &self.nodes[node_idx];
-        let node_rw = match node.pt.lookup(page) {
-            Some(Mapping::Local) => {
+        let node_rw = match mapping {
+            Mapping::Local => {
                 let e = node.dir.entry(block);
                 let home = NodeId(node_idx as u8);
-                e.owner.is_none_or(|o| o == home)
-                    && e.sharers.without(home).is_empty()
+                e.owner.is_none_or(|o| o == home) && e.sharers.without(home).is_empty()
             }
-            Some(Mapping::SComa(_)) => node
+            Mapping::SComa(_) => node
                 .page_cache
                 .as_ref()
                 .and_then(|pc| pc.tag(page, block.index_in_page()))
                 .is_some_and(AccessTag::writable),
-            Some(Mapping::CcNuma) => node
+            Mapping::CcNuma => node
                 .block_cache
                 .as_ref()
                 .and_then(|bc| bc.probe(block))
                 .is_some_and(|s| s.read_write),
-            None => false,
         };
         if node_rw {
             Moesi::Exclusive
@@ -599,8 +650,7 @@ impl Machine {
             // refetch is charged.
             (true, Some(_)) => {
                 let holds_copy = true;
-                let (done, refetch) =
-                    self.fetch_remote(node_idx, page, block, true, holds_copy, t);
+                let (done, refetch) = self.fetch_remote(node_idx, page, block, true, holds_copy, t);
                 debug_assert!(!refetch);
                 if let Some(bc) = self.nodes[node_idx].block_cache.as_mut() {
                     bc.grant_write(block);
@@ -631,7 +681,11 @@ impl Machine {
                 if let Some(ev) = evicted {
                     self.handle_bc_eviction(node_idx, ev, t);
                 }
-                let fill = if write { Moesi::Modified } else { Moesi::Shared };
+                let fill = if write {
+                    Moesi::Modified
+                } else {
+                    Moesi::Shared
+                };
                 self.fill_l1(node_idx, l1_idx, block, write, fill, t);
 
                 // The reactive policy: count the refetch and relocate the
@@ -674,7 +728,11 @@ impl Machine {
             .tag(page, block.index_in_page())
             .expect("mapped page must be resident");
 
-        let hit = if write { tag.writable() } else { tag.readable() };
+        let hit = if write {
+            tag.writable()
+        } else {
+            tag.readable()
+        };
         if hit {
             // Local page-cache fill from DRAM.
             let grant = self.nodes[node_idx].mem.acquire(t, dram);
@@ -745,7 +803,11 @@ impl Machine {
             (out.fetch_from, out.invalidate, out.refetch)
         } else {
             let out = self.nodes[home_idx].dir.read(block, node_id);
-            (out.fetch_from, rnuma_mem::addr::NodeMask::EMPTY, out.refetch)
+            (
+                out.fetch_from,
+                rnuma_mem::addr::NodeMask::EMPTY,
+                out.refetch,
+            )
         };
         if refetch {
             self.metrics.record_refetch(page);
@@ -946,41 +1008,49 @@ impl Machine {
     /// (block cache or L1s) are replicated into the new frame; dirty data
     /// stays local under a read-write tag. Returns the OS cost charged to
     /// the interrupted CPU.
+    ///
+    /// The relocation cost is charged per *distinct* replicated block: a
+    /// block resident in both the block cache and an L1 moves into the
+    /// frame once and is counted once (earlier revisions double-counted
+    /// such blocks in `blocks_flushed` and the cycle charge).
     fn relocate_page(&mut self, node_idx: usize, page: VPage, now: Cycles) -> Cycles {
-        // 1. Collect the node's resident blocks of this page.
-        let flushed: Vec<BlockEviction> = self.nodes[node_idx]
+        // 1. Collect the node's resident blocks of this page into a
+        //    fine-grain tag accumulator (128 two-bit cells — no heap).
+        //    ReadWrite wins when a block is seen from several sources.
+        let mut moved_tags = rnuma_mem::fine_tags::FineTags::new();
+        let merge = |tags: &mut rnuma_mem::fine_tags::FineTags, idx: u64, tag: AccessTag| {
+            if tags.get(idx) != AccessTag::ReadWrite {
+                tags.set(idx, tag);
+            }
+        };
+        let mut flushed = std::mem::take(&mut self.flush_scratch);
+        flushed.clear();
+        self.nodes[node_idx]
             .block_cache
             .as_mut()
             .expect("R-NUMA has a block cache")
-            .flush_page(page);
-        let mut tags: Vec<(u64, AccessTag)> = flushed
-            .iter()
-            .map(|ev| {
-                let tag = if ev.state.read_write {
-                    AccessTag::ReadWrite
-                } else {
-                    AccessTag::ReadOnly
-                };
-                (ev.block.index_in_page(), tag)
-            })
-            .collect();
+            .flush_page_into(page, &mut flushed);
+        for ev in &flushed {
+            let tag = if ev.state.read_write {
+                AccessTag::ReadWrite
+            } else {
+                AccessTag::ReadOnly
+            };
+            merge(&mut moved_tags, ev.block.index_in_page(), tag);
+        }
+        self.flush_scratch = flushed;
         // L1 copies (read-only blocks may exist without a block-cache
         // line) are also replicated; dirty ones keep write permission.
-        for l1_idx in 0..self.nodes[node_idx].l1s.len() {
-            let resident: Vec<(VBlock, rnuma_mem::moesi::Moesi)> = self.nodes[node_idx].l1s
-                [l1_idx]
-                .iter()
-                .filter(|(b, _)| b.vpage() == page)
-                .collect();
-            for (b, state) in resident {
+        for l1 in &mut self.nodes[node_idx].l1s {
+            for (b, state) in l1.iter().filter(|(b, _)| b.vpage() == page) {
                 let tag = if state.is_dirty() || state.can_write() {
                     AccessTag::ReadWrite
                 } else {
                     AccessTag::ReadOnly
                 };
-                tags.push((b.index_in_page(), tag));
+                merge(&mut moved_tags, b.index_in_page(), tag);
             }
-            self.nodes[node_idx].l1s[l1_idx].invalidate_page(page);
+            l1.invalidate_page(page);
         }
 
         // 2. Allocate a frame (possibly cleaning an LRM victim).
@@ -997,17 +1067,14 @@ impl Machine {
         }
 
         // 3. Install tags for the replicated blocks and remap the page.
-        let moved = tags.len() as u32;
+        let moved = moved_tags.count_valid();
         {
             let pc = self.nodes[node_idx]
                 .page_cache
                 .as_mut()
                 .expect("checked above");
-            for (idx, tag) in tags {
-                // ReadWrite wins if the block appears from both sources.
-                if pc.tag(page, idx) != Some(AccessTag::ReadWrite) {
-                    pc.set_tag(page, idx, tag);
-                }
+            for (idx, tag) in moved_tags.iter_valid() {
+                pc.set_tag(page, idx, tag);
             }
         }
         let node = &mut self.nodes[node_idx];
@@ -1069,11 +1136,7 @@ mod tests {
         m.access(CPU_N1, va, false);
         m.barrier_all();
         let lat = m.access(CPU_N1, Va(0x8000 + 32), false);
-        assert_eq!(
-            lat,
-            Cycles(376),
-            "remote fetch calibration broken: {lat}"
-        );
+        assert_eq!(lat, Cycles(376), "remote fetch calibration broken: {lat}");
     }
 
     /// Calibration: a local miss (page mapped, home here) costs Table 2's
@@ -1119,12 +1182,12 @@ mod tests {
         let a = Va(0x8000); // page 8, block 0
         m.access(CPU_N0, a, false); // home at node 0
         m.access(CPU_N1, a, false); // node 1 fetches block 1024 (set 0)
-        // Conflicting remote block on the same page: 4 lines => block 4
-        // of the page maps to set 0 as well.
+                                    // Conflicting remote block on the same page: 4 lines => block 4
+                                    // of the page maps to set 0 as well.
         let b = Va(0x8000 + 4 * 32);
         m.access(CPU_N1, b, false); // evicts block 0 from bc
-        // Note: block 0 may still sit in the CPU's L1, so force an L1
-        // conflict too by using another CPU of node 1.
+                                    // Note: block 0 may still sit in the CPU's L1, so force an L1
+                                    // conflict too by using another CPU of node 1.
         let lat = m.access(CpuId(5), a, false);
         let metrics = m.metrics();
         assert_eq!(metrics.refetches, 1, "directory must flag the refetch");
@@ -1139,7 +1202,7 @@ mod tests {
         let a = Va(0x8000);
         m.access(CPU_N0, a, false); // home node 0
         m.access(CPU_N1, a, true); // node 1 writes (GetX)
-        // Conflict it out (same bc set): dirty writeback to home.
+                                   // Conflict it out (same bc set): dirty writeback to home.
         m.access(CPU_N1, Va(0x8000 + 4 * 32), false);
         // Re-fetch by node 1: was_owner => refetch.
         m.access(CpuId(5), a, false);
@@ -1167,9 +1230,9 @@ mod tests {
         .unwrap();
         let page_base = 0x8000u64;
         m.access(CPU_N0, Va(page_base), false); // home node 0
-        // Node 1: refetch the same block repeatedly by conflicting it out
-        // of the 4-line block cache with block+4, alternating CPUs so the
-        // L1s do not satisfy the re-reads.
+                                                // Node 1: refetch the same block repeatedly by conflicting it out
+                                                // of the 4-line block cache with block+4, alternating CPUs so the
+                                                // L1s do not satisfy the re-reads.
         for i in 0..6 {
             let cpu = if i % 2 == 0 { CpuId(4) } else { CpuId(5) };
             m.access(cpu, Va(page_base), false);
@@ -1223,6 +1286,48 @@ mod tests {
     }
 
     #[test]
+    fn mru_translation_serves_repeated_page_references() {
+        let mut m = machine(Protocol::paper_ccnuma());
+        // Stream over one page: after the first L1 miss resolves the
+        // translation, subsequent misses on the page hit the MRU entry.
+        for i in 0..32u64 {
+            m.access(CPU_N0, Va(i * 32), false);
+        }
+        let metrics = m.metrics();
+        assert!(
+            metrics.mru_translation_hits >= 30,
+            "expected MRU hits on a page stream, got {}",
+            metrics.mru_translation_hits
+        );
+    }
+
+    #[test]
+    fn mru_translation_invalidated_by_relocation() {
+        // The rnuma_relocates_after_threshold scenario exercises a
+        // map() between references; this asserts the stale MRU entry is
+        // not served after the page table changes.
+        let mut m = Machine::new(MachineConfig::paper_base(Protocol::RNuma {
+            block_cache_bytes: 128,
+            page_cache_bytes: 320 * 1024,
+            threshold: 2,
+        }))
+        .unwrap();
+        let page_base = 0x8000u64;
+        m.access(CPU_N0, Va(page_base), false);
+        for i in 0..6 {
+            let cpu = if i % 2 == 0 { CpuId(4) } else { CpuId(5) };
+            m.access(cpu, Va(page_base), false);
+            m.access(cpu, Va(page_base + 4 * 32), false);
+        }
+        assert!(m.metrics().relocation_interrupts >= 1);
+        // Post-relocation accesses must see the S-COMA mapping (page
+        // cache hits), not the stale CC-NUMA MRU entry.
+        let before = m.metrics().page_cache_hits;
+        m.access(CpuId(6), Va(page_base), false);
+        assert!(m.metrics().page_cache_hits > before);
+    }
+
+    #[test]
     fn barrier_synchronizes_clocks() {
         let mut m = machine(Protocol::paper_ccnuma());
         m.access(CPU_N0, Va(0), false);
@@ -1250,8 +1355,8 @@ mod tests {
         m.access(CPU_N1, va, false); // sharer
         m.access(CPU_N2, va, false); // sharer
         m.access(CpuId(12), va, true); // node 3 writes
-        // Node 1 and 2 re-read: coherence misses (not refetches), and
-        // node 3's dirty copy must be pulled home.
+                                       // Node 1 and 2 re-read: coherence misses (not refetches), and
+                                       // node 3's dirty copy must be pulled home.
         m.access(CPU_N1, va, false);
         assert_eq!(m.metrics().refetches, 0);
         // The write-invalidate messages were actually sent.

@@ -6,9 +6,9 @@
 //! (Figure 5).
 
 use rnuma_mem::addr::{NodeId, NodeMask, VPage};
+use rnuma_mem::fxmap::FxMap;
 use rnuma_os::OsStats;
 use rnuma_sim::{Cdf, Cycles};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Sharing profile of one virtual page, accumulated over a run.
@@ -50,6 +50,9 @@ pub struct Metrics {
     pub writes: u64,
     /// References satisfied inside the issuing CPU's cache.
     pub l1_hits: u64,
+    /// L1-miss page translations satisfied by the per-CPU MRU entry
+    /// (no page-table walk).
+    pub mru_translation_hits: u64,
     /// References that needed a node-bus transaction.
     pub l1_misses: u64,
     /// Misses supplied cache-to-cache by a peer L1 (MOESI owner).
@@ -77,7 +80,7 @@ pub struct Metrics {
     /// Total queueing delay at network interfaces.
     pub ni_wait: Cycles,
     /// Per-page sharing/refetch profiles.
-    pub pages: HashMap<VPage, PageProfile>,
+    pub pages: FxMap<VPage, PageProfile>,
 }
 
 impl Metrics {
@@ -139,12 +142,7 @@ impl Metrics {
         if self.per_cpu_cycles.is_empty() {
             return 0.0;
         }
-        let max = self
-            .per_cpu_cycles
-            .iter()
-            .map(|c| c.0)
-            .max()
-            .unwrap_or(0) as f64;
+        let max = self.per_cpu_cycles.iter().map(|c| c.0).max().unwrap_or(0) as f64;
         let mean = self.per_cpu_cycles.iter().map(|c| c.0).sum::<u64>() as f64
             / self.per_cpu_cycles.len() as f64;
         if mean == 0.0 {
@@ -156,7 +154,7 @@ impl Metrics {
 
     /// Records that `node` touched `page` (with `wrote` set for stores).
     pub fn touch_page(&mut self, page: VPage, node: NodeId, wrote: bool) {
-        let p = self.pages.entry(page).or_default();
+        let p = self.pages.entry_or_default(page);
         p.accessors.insert(node);
         if wrote {
             p.writers.insert(node);
@@ -166,13 +164,13 @@ impl Metrics {
     /// Records a directory-detected refetch of `page`.
     pub fn record_refetch(&mut self, page: VPage) {
         self.refetches += 1;
-        self.pages.entry(page).or_default().refetches += 1;
+        self.pages.entry_or_default(page).refetches += 1;
     }
 
     /// Records a remote fetch for `page`.
     pub fn record_remote_fetch(&mut self, page: VPage) {
         self.remote_fetches += 1;
-        self.pages.entry(page).or_default().remote_fetches += 1;
+        self.pages.entry_or_default(page).remote_fetches += 1;
     }
 }
 
@@ -202,7 +200,12 @@ impl fmt::Display for Metrics {
             "paging          : {} ({} relocation interrupts)",
             self.os, self.relocation_interrupts
         )?;
-        write!(f, "pages           : {} tracked, {} shared", self.pages.len(), self.shared_pages())
+        write!(
+            f,
+            "pages           : {} tracked, {} shared",
+            self.pages.len(),
+            self.shared_pages()
+        )
     }
 }
 

@@ -9,7 +9,7 @@
 //!   with an infinite block cache" baseline all figures normalize to.
 
 use crate::addr::VBlock;
-use std::collections::HashMap;
+use crate::fxmap::FxMap64;
 
 /// One resident line: the block it holds plus caller-defined state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -158,18 +158,37 @@ impl<S> DirectCache<S> {
     /// Removes every resident line satisfying `pred`, returning them.
     ///
     /// Used for page-granularity flushes (all blocks of a page leave the
-    /// cache when the OS unmaps the page).
-    pub fn drain_matching<F>(&mut self, mut pred: F) -> Vec<Line<S>>
+    /// cache when the OS unmaps the page). Hot callers should prefer
+    /// [`DirectCache::drain_matching_into`] with a reused buffer.
+    pub fn drain_matching<F>(&mut self, pred: F) -> Vec<Line<S>>
     where
         F: FnMut(&Line<S>) -> bool,
     {
         let mut out = Vec::new();
+        self.drain_matching_into(pred, &mut out);
+        out
+    }
+
+    /// Like [`DirectCache::drain_matching`], but appends the drained
+    /// lines to a caller-provided buffer instead of allocating one.
+    pub fn drain_matching_into<F>(&mut self, pred: F, out: &mut Vec<Line<S>>)
+    where
+        F: FnMut(&Line<S>) -> bool,
+    {
+        self.drain_matching_with(pred, |line| out.push(line));
+    }
+
+    /// Allocation-free drain: each removed line is handed to `sink`.
+    pub fn drain_matching_with<F, G>(&mut self, mut pred: F, mut sink: G)
+    where
+        F: FnMut(&Line<S>) -> bool,
+        G: FnMut(Line<S>),
+    {
         for slot in &mut self.lines {
             if slot.as_ref().is_some_and(&mut pred) {
-                out.push(slot.take().expect("slot checked non-empty"));
+                sink(slot.take().expect("slot checked non-empty"));
             }
         }
-        out
     }
 
     /// Empties the cache.
@@ -186,7 +205,7 @@ impl<S> DirectCache<S> {
 /// simulator uses.
 #[derive(Clone, Debug, Default)]
 pub struct InfiniteCache<S> {
-    lines: HashMap<u64, S>,
+    lines: FxMap64<S>,
 }
 
 impl<S> InfiniteCache<S> {
@@ -194,25 +213,25 @@ impl<S> InfiniteCache<S> {
     #[must_use]
     pub fn new() -> InfiniteCache<S> {
         InfiniteCache {
-            lines: HashMap::new(),
+            lines: FxMap64::new(),
         }
     }
 
     /// State of `block` if resident.
     #[must_use]
     pub fn get(&self, block: VBlock) -> Option<&S> {
-        self.lines.get(&block.0)
+        self.lines.get(block.0)
     }
 
     /// Mutable state of `block` if resident.
     pub fn get_mut(&mut self, block: VBlock) -> Option<&mut S> {
-        self.lines.get_mut(&block.0)
+        self.lines.get_mut(block.0)
     }
 
     /// `true` when `block` is resident.
     #[must_use]
     pub fn contains(&self, block: VBlock) -> bool {
-        self.lines.contains_key(&block.0)
+        self.lines.contains_key(block.0)
     }
 
     /// Installs or overwrites `block`. Never evicts.
@@ -222,7 +241,7 @@ impl<S> InfiniteCache<S> {
 
     /// Removes `block`, returning its state.
     pub fn remove(&mut self, block: VBlock) -> Option<S> {
-        self.lines.remove(&block.0)
+        self.lines.remove(block.0)
     }
 
     /// Number of resident blocks.
@@ -246,8 +265,14 @@ mod tests {
     fn sizes_match_paper_configurations() {
         // 8-KB L1 = 256 lines, 32-KB block cache = 1024 lines,
         // 1-KB = 32 lines, 128-B = 4 lines.
-        assert_eq!(DirectCache::<()>::with_capacity_bytes(8 * 1024).num_lines(), 256);
-        assert_eq!(DirectCache::<()>::with_capacity_bytes(32 * 1024).num_lines(), 1024);
+        assert_eq!(
+            DirectCache::<()>::with_capacity_bytes(8 * 1024).num_lines(),
+            256
+        );
+        assert_eq!(
+            DirectCache::<()>::with_capacity_bytes(32 * 1024).num_lines(),
+            1024
+        );
         assert_eq!(DirectCache::<()>::with_capacity_bytes(1024).num_lines(), 32);
         assert_eq!(DirectCache::<()>::with_capacity_bytes(128).num_lines(), 4);
     }

@@ -1,0 +1,487 @@
+//! Open-addressed hash maps for the simulator's hot path.
+//!
+//! Every memory reference that misses an L1 walks at least one of the
+//! per-node page table, the home directory, and the page-cache
+//! translation table. `std::collections::HashMap` puts a SipHash
+//! invocation and a bucket indirection on each of those walks; for the
+//! 64-bit keys used here (page and block numbers) that dominates the
+//! lookup cost. [`FxMap`] replaces it with:
+//!
+//! * a Fibonacci/FxHash-style multiply — one `u64` multiplication whose
+//!   high bits index the table — instead of SipHash;
+//! * open addressing with linear probing in one flat `Vec`, so a lookup
+//!   is a multiply, a shift, and a short contiguous scan;
+//! * backward-shift deletion, so no tombstones accumulate and probe
+//!   sequences stay short regardless of churn.
+//!
+//! The map is deterministic: identical operation sequences produce
+//! identical layouts and iteration orders, which the workspace's
+//! bit-identical-replay guarantees rely on. Iteration order is still
+//! arbitrary in the API sense (table order), exactly like the `HashMap`
+//! it replaces.
+
+use std::fmt;
+
+/// Keys usable in an [`FxMap`]: newtypes around a `u64`.
+pub trait Key64: Copy + Eq {
+    /// The raw 64-bit key.
+    fn as_u64(self) -> u64;
+    /// Rebuilds the key from its raw value (used by iteration).
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl Key64 for u64 {
+    #[inline]
+    fn as_u64(self) -> u64 {
+        self
+    }
+    #[inline]
+    fn from_u64(raw: u64) -> u64 {
+        raw
+    }
+}
+
+impl Key64 for crate::addr::VPage {
+    #[inline]
+    fn as_u64(self) -> u64 {
+        self.0
+    }
+    #[inline]
+    fn from_u64(raw: u64) -> Self {
+        crate::addr::VPage(raw)
+    }
+}
+
+impl Key64 for crate::addr::VBlock {
+    #[inline]
+    fn as_u64(self) -> u64 {
+        self.0
+    }
+    #[inline]
+    fn from_u64(raw: u64) -> Self {
+        crate::addr::VBlock(raw)
+    }
+}
+
+/// 2^64 / phi — the Fibonacci hashing constant, the same multiplier
+/// FxHash folds into its word mix. One multiply spreads consecutive
+/// keys (the common case: adjacent pages and blocks) across the table.
+const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Initial capacity on first insert (power of two).
+const MIN_CAPACITY: usize = 16;
+
+/// An open-addressed, deterministic `u64`-keyed hash map.
+///
+/// Drop-in replacement for the simulator's former
+/// `HashMap<Key, V>` uses; see the module docs for the design.
+///
+/// # Example
+///
+/// ```
+/// use rnuma_mem::fxmap::FxMap;
+/// use rnuma_mem::addr::VPage;
+///
+/// let mut m: FxMap<VPage, u32> = FxMap::new();
+/// m.insert(VPage(7), 1);
+/// assert_eq!(m.get(VPage(7)), Some(&1));
+/// assert_eq!(m.remove(VPage(7)), Some(1));
+/// assert!(m.is_empty());
+/// ```
+#[derive(Clone)]
+pub struct FxMap<K: Key64, V> {
+    /// Power-of-two slot array; `None` marks an empty slot.
+    slots: Vec<Option<(u64, V)>>,
+    len: usize,
+    /// `64 - log2(slots.len())`; the hash's high bits give the index.
+    shift: u32,
+    _key: std::marker::PhantomData<K>,
+}
+
+/// An [`FxMap`] over raw `u64` keys.
+pub type FxMap64<V> = FxMap<u64, V>;
+
+impl<K: Key64, V> Default for FxMap<K, V> {
+    fn default() -> Self {
+        FxMap::new()
+    }
+}
+
+impl<K: Key64, V: fmt::Debug> fmt::Debug for FxMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.iter().map(|(k, v)| (k.as_u64(), v)))
+            .finish()
+    }
+}
+
+impl<K: Key64, V> FxMap<K, V> {
+    /// An empty map; allocates on first insert.
+    #[must_use]
+    pub fn new() -> Self {
+        FxMap {
+            slots: Vec::new(),
+            len: 0,
+            shift: 0,
+            _key: std::marker::PhantomData,
+        }
+    }
+
+    /// An empty map with room for `n` entries before the first resize.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        let mut m = FxMap::new();
+        if n > 0 {
+            m.allocate((n * 4 / 3 + 1).next_power_of_two().max(MIN_CAPACITY));
+        }
+        m
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the map holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn index_of(&self, raw: u64) -> usize {
+        // High bits of the product: well-mixed even for consecutive keys.
+        (raw.wrapping_mul(MIX) >> self.shift) as usize
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    /// One probe walk answers both questions: where `raw` lives, or —
+    /// since linear probing terminates at the first empty slot — where
+    /// it would be placed. `Err(vacant)` carries that insertion slot so
+    /// inserts never walk the chain twice; `Err(usize::MAX)` flags an
+    /// unallocated table.
+    #[inline]
+    fn probe(&self, raw: u64) -> Result<usize, usize> {
+        if self.slots.is_empty() {
+            return Err(usize::MAX);
+        }
+        let mask = self.mask();
+        let mut i = self.index_of(raw);
+        loop {
+            match &self.slots[i] {
+                Some((k, _)) if *k == raw => return Ok(i),
+                Some(_) => i = (i + 1) & mask,
+                None => return Err(i),
+            }
+        }
+    }
+
+    /// Slot holding `raw`, if present.
+    #[inline]
+    fn find(&self, raw: u64) -> Option<usize> {
+        self.probe(raw).ok()
+    }
+
+    /// A reference to the value for `key`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, key: K) -> Option<&V> {
+        self.find(key.as_u64())
+            .map(|i| &self.slots[i].as_ref().expect("found slot is occupied").1)
+    }
+
+    /// A mutable reference to the value for `key`.
+    #[inline]
+    pub fn get_mut(&mut self, key: K) -> Option<&mut V> {
+        self.find(key.as_u64())
+            .map(|i| &mut self.slots[i].as_mut().expect("found slot is occupied").1)
+    }
+
+    /// `true` when `key` is present.
+    #[inline]
+    #[must_use]
+    pub fn contains_key(&self, key: K) -> bool {
+        self.find(key.as_u64()).is_some()
+    }
+
+    /// Inserts `key -> value`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let raw = key.as_u64();
+        match self.probe(raw) {
+            Ok(i) => {
+                let slot = self.slots[i].as_mut().expect("found slot is occupied");
+                Some(std::mem::replace(&mut slot.1, value))
+            }
+            Err(vacant) => {
+                let i = self.claim(raw, vacant);
+                self.slots[i] = Some((raw, value));
+                None
+            }
+        }
+    }
+
+    /// The value for `key`, inserting `V::default()` first when absent.
+    pub fn entry_or_default(&mut self, key: K) -> &mut V
+    where
+        V: Default,
+    {
+        let raw = key.as_u64();
+        let i = match self.probe(raw) {
+            Ok(i) => i,
+            Err(vacant) => {
+                let i = self.claim(raw, vacant);
+                self.slots[i] = Some((raw, V::default()));
+                i
+            }
+        };
+        &mut self.slots[i].as_mut().expect("slot just located").1
+    }
+
+    /// Books a slot for an absent key whose probe ended at `vacant`.
+    /// Falls back to a fresh walk only when a grow (or first
+    /// allocation) invalidates that position.
+    #[inline]
+    fn claim(&mut self, raw: u64, vacant: usize) -> usize {
+        self.len += 1;
+        if !self.slots.is_empty() && self.len * 4 <= self.slots.len() * 3 {
+            return vacant;
+        }
+        self.grow();
+        let mask = self.mask();
+        let mut i = self.index_of(raw);
+        while self.slots[i].is_some() {
+            i = (i + 1) & mask;
+        }
+        i
+    }
+
+    /// Removes `key`, returning its value. Uses backward-shift deletion,
+    /// so the table never accumulates tombstones.
+    pub fn remove(&mut self, key: K) -> Option<V> {
+        let i = self.find(key.as_u64())?;
+        let (_, value) = self.slots[i].take().expect("found slot is occupied");
+        self.len -= 1;
+        // Backward shift: close the probe-chain hole at `i`.
+        let mask = self.mask();
+        let mut hole = i;
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            let Some((k, _)) = &self.slots[j] else { break };
+            let home = self.index_of(*k);
+            // The entry at `j` may fill the hole iff its home position
+            // does not lie cyclically within (hole, j].
+            let blocked = if hole <= j {
+                home > hole && home <= j
+            } else {
+                home > hole || home <= j
+            };
+            if !blocked {
+                self.slots[hole] = self.slots[j].take();
+                hole = j;
+            }
+        }
+        Some(value)
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.len = 0;
+    }
+
+    /// Iterates over `(key, &value)` in table (arbitrary but
+    /// deterministic) order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &V)> + '_ {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|(k, v)| (K::from_u64(*k), v))
+    }
+
+    /// Iterates over values in table order.
+    pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
+        self.slots.iter().flatten().map(|(_, v)| v)
+    }
+
+    /// Iterates over keys in table order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.slots.iter().flatten().map(|(k, _)| K::from_u64(*k))
+    }
+
+    fn allocate(&mut self, capacity: usize) {
+        debug_assert!(capacity.is_power_of_two());
+        self.slots = (0..capacity).map(|_| None).collect();
+        self.shift = 64 - capacity.trailing_zeros();
+    }
+
+    /// First allocation or doubling; rehashes every resident entry.
+    /// Growth happens at 3/4 load, keeping linear probe chains short.
+    fn grow(&mut self) {
+        if self.slots.is_empty() {
+            self.allocate(MIN_CAPACITY);
+            return;
+        }
+        let old = std::mem::take(&mut self.slots);
+        self.allocate(old.len() * 2);
+        let mask = self.mask();
+        for (k, v) in old.into_iter().flatten() {
+            let mut i = self.index_of(k);
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Some((k, v));
+        }
+    }
+}
+
+impl<K: Key64, V> std::ops::Index<&K> for FxMap<K, V> {
+    type Output = V;
+    fn index(&self, key: &K) -> &V {
+        self.get(*key).expect("key not present in FxMap")
+    }
+}
+
+impl<K: Key64, V> FromIterator<(K, V)> for FxMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut m = FxMap::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::VPage;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut m: FxMap64<u32> = FxMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1, 10), None);
+        assert_eq!(m.insert(2, 20), None);
+        assert_eq!(m.insert(1, 11), Some(10));
+        assert_eq!(m.get(1), Some(&11));
+        assert_eq!(m.get(3), None);
+        assert_eq!(m.remove(1), Some(11));
+        assert_eq!(m.remove(1), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut m: FxMap64<u64> = FxMap::new();
+        for i in 0..10_000 {
+            m.insert(i, i * 3);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000 {
+            assert_eq!(m.get(i), Some(&(i * 3)), "key {i}");
+        }
+    }
+
+    #[test]
+    fn backward_shift_deletion_preserves_probe_chains() {
+        // Stress collisions and removals: consecutive keys cluster in
+        // probe chains; removing from a chain's middle must not orphan
+        // its tail.
+        let mut m: FxMap64<u64> = FxMap::with_capacity(64);
+        for i in 0..48 {
+            m.insert(i, i);
+        }
+        for i in (0..48).step_by(3) {
+            assert_eq!(m.remove(i), Some(i));
+        }
+        for i in 0..48 {
+            if i % 3 == 0 {
+                assert_eq!(m.get(i), None);
+            } else {
+                assert_eq!(m.get(i), Some(&i), "chain broken at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn entry_or_default_inserts_once() {
+        let mut m: FxMap<VPage, u64> = FxMap::new();
+        *m.entry_or_default(VPage(5)) += 1;
+        *m.entry_or_default(VPage(5)) += 1;
+        assert_eq!(m.get(VPage(5)), Some(&2));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn iteration_visits_every_entry_exactly_once() {
+        let mut m: FxMap<VPage, u32> = FxMap::new();
+        for p in 0..100 {
+            m.insert(VPage(p), p as u32);
+        }
+        let mut seen: Vec<u64> = m.iter().map(|(k, _)| k.0).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        assert_eq!(m.values().count(), 100);
+        assert_eq!(m.keys().count(), 100);
+    }
+
+    #[test]
+    fn iteration_order_is_deterministic() {
+        let build = || {
+            let mut m: FxMap64<u32> = FxMap::new();
+            for i in 0..500 {
+                m.insert(i * 7 + 1, i as u32);
+            }
+            for i in 0..100 {
+                m.remove(i * 13);
+            }
+            m.iter().map(|(k, _)| k).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn index_operator_matches_hashmap_tests() {
+        let mut m: FxMap<VPage, u32> = FxMap::new();
+        m.insert(VPage(9), 3);
+        assert_eq!(m[&VPage(9)], 3);
+    }
+
+    #[test]
+    fn clear_then_reuse() {
+        let mut m: FxMap64<u8> = FxMap::new();
+        for i in 0..50 {
+            m.insert(i, 0);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        m.insert(1, 1);
+        assert_eq!(m.get(1), Some(&1));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let m: FxMap64<u32> = (0..10u64).map(|i| (i, i as u32)).collect();
+        assert_eq!(m.len(), 10);
+        assert_eq!(m.get(4), Some(&4));
+    }
+
+    #[test]
+    fn extreme_keys_work() {
+        let mut m: FxMap64<&str> = FxMap::new();
+        m.insert(0, "zero");
+        m.insert(u64::MAX, "max");
+        m.insert(1 << 63, "high bit");
+        assert_eq!(m.get(0), Some(&"zero"));
+        assert_eq!(m.get(u64::MAX), Some(&"max"));
+        assert_eq!(m.get(1 << 63), Some(&"high bit"));
+    }
+}

@@ -117,7 +117,10 @@ impl L1Cache {
             .lines
             .get_mut(block)
             .expect("store_hit requires residency");
-        assert!(line.state.can_write(), "store_hit requires write permission");
+        assert!(
+            line.state.can_write(),
+            "store_hit requires write permission"
+        );
         line.state = line.state.after_store();
     }
 
@@ -177,9 +180,15 @@ impl L1Cache {
     /// Invalidates every block of `page`, returning how many lines were
     /// dropped and how many of them were dirty.
     pub fn invalidate_page(&mut self, page: VPage) -> (u32, u32) {
-        let drained = self.lines.drain_matching(|l| l.block.vpage() == page);
-        let dirty = drained.iter().filter(|l| l.state.is_dirty()).count() as u32;
-        (drained.len() as u32, dirty)
+        let (mut dropped, mut dirty) = (0u32, 0u32);
+        self.lines.drain_matching_with(
+            |l| l.block.vpage() == page,
+            |l| {
+                dropped += 1;
+                dirty += u32::from(l.state.is_dirty());
+            },
+        );
+        (dropped, dirty)
     }
 
     /// Number of resident lines.
@@ -274,7 +283,14 @@ mod tests {
         let mut l1 = L1Cache::new(8 * 1024);
         let p = VPage(0);
         for (i, b) in p.blocks().take(6).enumerate() {
-            l1.fill(b, if i % 2 == 0 { Moesi::Modified } else { Moesi::Shared });
+            l1.fill(
+                b,
+                if i % 2 == 0 {
+                    Moesi::Modified
+                } else {
+                    Moesi::Shared
+                },
+            );
         }
         l1.fill(VPage(3).block(0), Moesi::Shared);
         let (n, dirty) = l1.invalidate_page(p);

@@ -30,6 +30,7 @@ pub mod addr;
 pub mod block_cache;
 pub mod cache;
 pub mod fine_tags;
+pub mod fxmap;
 pub mod l1;
 pub mod moesi;
 pub mod page_cache;
@@ -38,6 +39,7 @@ pub mod page_table;
 pub use addr::{CpuId, FrameId, NodeId, NodeMask, VBlock, VPage, Va};
 pub use block_cache::{BlockCache, BlockEviction, BlockState};
 pub use fine_tags::{AccessTag, FineTags};
+pub use fxmap::{FxMap, FxMap64};
 pub use l1::{L1Cache, L1Probe};
 pub use moesi::Moesi;
 pub use page_cache::{PageCache, PageVictim, ReplacementPolicy};

@@ -10,7 +10,7 @@
 
 use crate::addr::{FrameId, VPage, PAGE_BYTES};
 use crate::fine_tags::{AccessTag, FineTags};
-use std::collections::HashMap;
+use crate::fxmap::FxMap;
 
 /// Victim-selection policy for a full page cache.
 ///
@@ -75,7 +75,7 @@ struct Frame {
 #[derive(Clone, Debug)]
 pub struct PageCache {
     frames: Vec<Frame>,
-    by_page: HashMap<VPage, FrameId>,
+    by_page: FxMap<VPage, FrameId>,
     free: Vec<FrameId>,
     miss_clock: u64,
     policy: ReplacementPolicy,
@@ -120,7 +120,7 @@ impl PageCache {
                     allocated: 0,
                 })
                 .collect(),
-            by_page: HashMap::new(),
+            by_page: FxMap::new(),
             free: (0..n as u32).rev().map(FrameId).collect(),
             miss_clock: 0,
             policy,
@@ -150,7 +150,7 @@ impl PageCache {
     /// SRAM translation lookup (GPA → LPA direction).
     #[must_use]
     pub fn lookup(&self, vpage: VPage) -> Option<FrameId> {
-        self.by_page.get(&vpage).copied()
+        self.by_page.get(vpage).copied()
     }
 
     /// The page held by `frame`, if any (LPA → GPA direction).
@@ -176,7 +176,7 @@ impl PageCache {
     /// [`PageCache::lookup`] first).
     pub fn allocate(&mut self, vpage: VPage) -> PageAlloc {
         assert!(
-            !self.by_page.contains_key(&vpage),
+            !self.by_page.contains_key(vpage),
             "page {vpage} already resident"
         );
         self.miss_clock += 1;
@@ -200,7 +200,7 @@ impl PageCache {
     /// Records a remote miss serviced into `vpage`'s frame, refreshing its
     /// LRM position. No-op if the page is not resident.
     pub fn record_miss(&mut self, vpage: VPage) {
-        if let Some(&frame) = self.by_page.get(&vpage) {
+        if let Some(&frame) = self.by_page.get(vpage) {
             self.miss_clock += 1;
             self.frames[frame.0 as usize].last_miss = self.miss_clock;
         }
@@ -210,7 +210,7 @@ impl PageCache {
     #[must_use]
     pub fn tag(&self, vpage: VPage, block_index: u64) -> Option<AccessTag> {
         self.by_page
-            .get(&vpage)
+            .get(vpage)
             .map(|f| self.frames[f.0 as usize].tags.get(block_index))
     }
 
@@ -227,7 +227,7 @@ impl PageCache {
     /// Invalidates one block of a resident page (e.g., a remote node took
     /// exclusive ownership). No-op if the page is not resident.
     pub fn invalidate_block(&mut self, vpage: VPage, block_index: u64) {
-        if let Some(&frame) = self.by_page.get(&vpage) {
+        if let Some(&frame) = self.by_page.get(vpage) {
             self.frames[frame.0 as usize]
                 .tags
                 .set(block_index, AccessTag::Invalid);
@@ -237,7 +237,7 @@ impl PageCache {
     /// Downgrades one block of a resident page to read-only (a remote
     /// reader forced a flush of our dirty copy). No-op when absent.
     pub fn downgrade_block(&mut self, vpage: VPage, block_index: u64) {
-        if let Some(&frame) = self.by_page.get(&vpage) {
+        if let Some(&frame) = self.by_page.get(vpage) {
             let tags = &mut self.frames[frame.0 as usize].tags;
             if tags.get(block_index) == AccessTag::ReadWrite {
                 tags.set(block_index, AccessTag::ReadOnly);
@@ -248,7 +248,7 @@ impl PageCache {
     /// Removes `vpage` from the cache (OS-initiated release rather than
     /// LRM replacement), returning its flush work.
     pub fn release(&mut self, vpage: VPage) -> Option<PageVictim> {
-        let frame = self.by_page.get(&vpage).copied()?;
+        let frame = self.by_page.get(vpage).copied()?;
         let victim = self.evict(frame);
         self.free.push(frame);
         Some(victim)
@@ -259,7 +259,7 @@ impl PageCache {
         let vpage = slot.vpage.take().expect("evicting an empty frame");
         let tags = slot.tags;
         slot.tags.clear();
-        self.by_page.remove(&vpage);
+        self.by_page.remove(vpage);
         PageVictim {
             vpage,
             frame,
@@ -304,7 +304,7 @@ impl PageCache {
 
     /// Iterates over resident pages with their frames.
     pub fn iter(&self) -> impl Iterator<Item = (VPage, FrameId)> + '_ {
-        self.by_page.iter().map(|(&p, &f)| (p, f))
+        self.by_page.iter().map(|(p, &f)| (p, f))
     }
 }
 

@@ -16,7 +16,7 @@
 //! `SComa` for one page on one node.
 
 use crate::addr::{FrameId, VPage};
-use std::collections::HashMap;
+use crate::fxmap::FxMap;
 
 /// How one node currently maps one virtual page.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,7 +52,8 @@ impl Mapping {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct NodePageTable {
-    entries: HashMap<VPage, Mapping>,
+    entries: FxMap<VPage, Mapping>,
+    version: u64,
 }
 
 impl NodePageTable {
@@ -62,22 +63,33 @@ impl NodePageTable {
         NodePageTable::default()
     }
 
+    /// A counter bumped on every `map`/`unmap`. Cached translations
+    /// (e.g., the machine's per-CPU MRU entry) are valid only while the
+    /// version they were read under is still current.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Current mapping of `page`, or `None` when unmapped.
+    #[inline]
     #[must_use]
     pub fn lookup(&self, page: VPage) -> Option<Mapping> {
-        self.entries.get(&page).copied()
+        self.entries.get(page).copied()
     }
 
     /// Installs a mapping, replacing any previous one. Returns the
     /// previous mapping, which the OS uses to validate transitions.
     pub fn map(&mut self, page: VPage, mapping: Mapping) -> Option<Mapping> {
+        self.version += 1;
         self.entries.insert(page, mapping)
     }
 
     /// Removes the mapping for `page` (relocation or page-cache
     /// replacement), returning it.
     pub fn unmap(&mut self, page: VPage) -> Option<Mapping> {
-        self.entries.remove(&page)
+        self.version += 1;
+        self.entries.remove(page)
     }
 
     /// Number of mapped pages.
@@ -94,7 +106,7 @@ impl NodePageTable {
 
     /// Iterates over `(page, mapping)` in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (VPage, Mapping)> + '_ {
-        self.entries.iter().map(|(&p, &m)| (p, m))
+        self.entries.iter().map(|(p, &m)| (p, m))
     }
 
     /// Counts pages in each mode: `(local, ccnuma, scoma)`.
@@ -134,6 +146,21 @@ mod tests {
         assert!(pt.lookup(VPage(1)).unwrap().is_scoma());
         assert_eq!(pt.unmap(VPage(1)), Some(Mapping::SComa(FrameId(3))));
         assert_eq!(pt.lookup(VPage(1)), None);
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation() {
+        let mut pt = NodePageTable::new();
+        let v0 = pt.version();
+        pt.map(VPage(1), Mapping::CcNuma);
+        let v1 = pt.version();
+        assert_ne!(v0, v1);
+        pt.unmap(VPage(1));
+        assert_ne!(pt.version(), v1);
+        // Lookups never invalidate cached translations.
+        let v2 = pt.version();
+        let _ = pt.lookup(VPage(1));
+        assert_eq!(pt.version(), v2);
     }
 
     #[test]

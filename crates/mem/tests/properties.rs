@@ -5,6 +5,7 @@ use rnuma_mem::addr::{NodeId, NodeMask, VBlock, VPage, Va, BLOCKS_PER_PAGE, PAGE
 use rnuma_mem::block_cache::{BlockCache, BlockState};
 use rnuma_mem::cache::DirectCache;
 use rnuma_mem::fine_tags::{AccessTag, FineTags};
+use rnuma_mem::fxmap::FxMap64;
 use rnuma_mem::l1::L1Cache;
 use rnuma_mem::moesi::Moesi;
 use rnuma_mem::page_cache::PageCache;
@@ -171,6 +172,56 @@ proptest! {
         let from_mask: Vec<u8> = mask.iter().map(|n| n.0).collect();
         let from_model: Vec<u8> = model.into_iter().collect();
         prop_assert_eq!(from_mask, from_model);
+    }
+
+    /// The open-addressed FxMap agrees with a `std` HashMap reference
+    /// model under arbitrary insert/remove/lookup sequences — the
+    /// correctness contract behind swapping it onto the hot path.
+    #[test]
+    fn fxmap_matches_hashmap_model(
+        ops in prop::collection::vec((0u8..3, 0u64..64, 0u32..1000), 1..600)
+    ) {
+        let mut map: FxMap64<u32> = FxMap64::new();
+        let mut model: std::collections::HashMap<u64, u32> =
+            std::collections::HashMap::new();
+        for (op, key, value) in ops {
+            match op {
+                0 => prop_assert_eq!(map.insert(key, value), model.insert(key, value)),
+                1 => prop_assert_eq!(map.remove(key), model.remove(&key)),
+                _ => prop_assert_eq!(map.get(key).copied(), model.get(&key).copied()),
+            }
+            prop_assert_eq!(map.len(), model.len());
+        }
+        // Full sweep: every surviving key agrees, and iteration covers
+        // exactly the model's key set.
+        for key in 0u64..64 {
+            prop_assert_eq!(map.get(key).copied(), model.get(&key).copied());
+        }
+        let mut keys: Vec<u64> = map.iter().map(|(k, _)| k).collect();
+        keys.sort_unstable();
+        let mut model_keys: Vec<u64> = model.keys().copied().collect();
+        model_keys.sort_unstable();
+        prop_assert_eq!(keys, model_keys);
+    }
+
+    /// The map also agrees with the model when keys collide heavily and
+    /// the table grows through several resizes.
+    #[test]
+    fn fxmap_survives_growth_and_clustering(
+        keys in prop::collection::vec(0u64..10_000, 1..800)
+    ) {
+        let mut map: FxMap64<u64> = FxMap64::new();
+        let mut model = std::collections::HashMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            // Consecutive-ish keys cluster probe chains on purpose.
+            let key = k / 3;
+            map.insert(key, i as u64);
+            model.insert(key, i as u64);
+        }
+        prop_assert_eq!(map.len(), model.len());
+        for (&k, &v) in &model {
+            prop_assert_eq!(map.get(k), Some(&v));
+        }
     }
 
     /// Block-cache flush_page removes exactly the page's resident blocks.

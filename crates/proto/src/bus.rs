@@ -48,7 +48,12 @@ pub struct SnoopResult {
 /// # Panics
 ///
 /// Panics if `issuer` is out of range.
-pub fn snoop(l1s: &mut [L1Cache], issuer: usize, block: VBlock, request: BusRequest) -> SnoopResult {
+pub fn snoop(
+    l1s: &mut [L1Cache],
+    issuer: usize,
+    block: VBlock,
+    request: BusRequest,
+) -> SnoopResult {
     assert!(issuer < l1s.len(), "issuer {issuer} out of range");
     let mut result = SnoopResult::default();
     for (i, l1) in l1s.iter_mut().enumerate() {

@@ -21,7 +21,7 @@
 //! (owner fetch, invalidations) to charge and perform.
 
 use rnuma_mem::addr::{NodeId, NodeMask, VBlock, VPage};
-use std::collections::HashMap;
+use rnuma_mem::fxmap::FxMap;
 
 /// Directory record for one block.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -80,7 +80,7 @@ pub struct WriteOutcome {
 #[derive(Clone, Debug)]
 pub struct Directory {
     home: NodeId,
-    entries: HashMap<VBlock, Entry>,
+    entries: FxMap<VBlock, Entry>,
     reads: u64,
     writes: u64,
     refetches: u64,
@@ -92,7 +92,7 @@ impl Directory {
     pub fn new(home: NodeId) -> Directory {
         Directory {
             home,
-            entries: HashMap::new(),
+            entries: FxMap::new(),
             reads: 0,
             writes: 0,
             refetches: 0,
@@ -108,7 +108,7 @@ impl Directory {
     /// Current state of `block` (all-empty when never referenced).
     #[must_use]
     pub fn entry(&self, block: VBlock) -> Entry {
-        self.entries.get(&block).copied().unwrap_or_default()
+        self.entries.get(block).copied().unwrap_or_default()
     }
 
     /// Handles a read (`GetShared`) from `requester` (which may be the
@@ -116,7 +116,7 @@ impl Directory {
     /// directory).
     pub fn read(&mut self, block: VBlock, requester: NodeId) -> ReadOutcome {
         self.reads += 1;
-        let e = self.entries.entry(block).or_default();
+        let e = self.entries.entry_or_default(block);
         let refetch = e.sharers.contains(requester)
             || e.was_owner.contains(requester)
             || e.owner == Some(requester);
@@ -152,7 +152,7 @@ impl Directory {
     /// sharers mask is expected, not a refetch signal.
     pub fn write(&mut self, block: VBlock, requester: NodeId, holds_copy: bool) -> WriteOutcome {
         self.writes += 1;
-        let e = self.entries.entry(block).or_default();
+        let e = self.entries.entry_or_default(block);
         let refetch = !holds_copy
             && (e.sharers.contains(requester)
                 || e.was_owner.contains(requester)
@@ -189,7 +189,7 @@ impl Directory {
     /// (the directory no longer shows the node as owner) — matching the
     /// late write-back acknowledgement of real protocols.
     pub fn writeback(&mut self, block: VBlock, from: NodeId) {
-        if let Some(e) = self.entries.get_mut(&block) {
+        if let Some(e) = self.entries.get_mut(block) {
             if e.owner == Some(from) {
                 e.owner = None;
                 e.was_owner.insert(from);
@@ -201,7 +201,7 @@ impl Directory {
     /// marking refetch state. Used when invalidations are performed for
     /// reasons the refetch counter must not see.
     pub fn drop_sharer(&mut self, block: VBlock, node: NodeId) {
-        if let Some(e) = self.entries.get_mut(&block) {
+        if let Some(e) = self.entries.get_mut(block) {
             e.sharers.remove(node);
             e.was_owner.remove(node);
         }
@@ -233,7 +233,8 @@ impl Directory {
 
     /// Iterates over the entries of one page (diagnostics).
     pub fn page_entries(&self, page: VPage) -> impl Iterator<Item = (VBlock, Entry)> + '_ {
-        page.blocks().filter_map(|b| self.entries.get(&b).map(|&e| (b, e)))
+        page.blocks()
+            .filter_map(|b| self.entries.get(b).map(|&e| (b, e)))
     }
 }
 

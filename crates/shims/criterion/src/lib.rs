@@ -1,0 +1,169 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace ships
+//! a dependency-free benchmark runner implementing the criterion API
+//! subset its benches use: `Criterion::benchmark_group`,
+//! `bench_function`, `sample_size`, `finish`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — per sample, the closure runs in
+//! a calibrated batch and the *minimum* per-iteration time across
+//! samples is reported (the minimum is the standard low-noise estimator
+//! for micro-benchmarks). No statistics, plots, or baselines.
+
+pub use std::hint::black_box;
+use std::time::Instant;
+
+/// Number of measurement samples taken per benchmark by default.
+const DEFAULT_SAMPLES: usize = 20;
+
+/// Target wall-clock time per sample batch, in nanoseconds.
+const TARGET_SAMPLE_NS: u128 = 2_000_000;
+
+/// Per-iteration timing harness passed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Best (minimum) observed nanoseconds per iteration.
+    pub best_ns_per_iter: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`, storing the minimum per-iteration cost over all
+    /// samples.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Calibrate a batch size that runs ~TARGET_SAMPLE_NS.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed().as_nanos().max(1);
+            if elapsed >= TARGET_SAMPLE_NS / 4 || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 8;
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples.max(1) {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let per_iter = t0.elapsed().as_nanos() as f64 / batch as f64;
+            if per_iter < best {
+                best = per_iter;
+            }
+        }
+        self.best_ns_per_iter = best;
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Overrides the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut BenchmarkGroup {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its result.
+    pub fn bench_function<N: std::fmt::Display, F>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut BenchmarkGroup
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            best_ns_per_iter: 0.0,
+            samples: self.samples,
+        };
+        f(&mut b);
+        println!(
+            "bench {:40} {:>14.1} ns/iter ({:>12.0} iters/s)",
+            format!("{}/{}", self.name, id),
+            b.best_ns_per_iter,
+            if b.best_ns_per_iter > 0.0 {
+                1e9 / b.best_ns_per_iter
+            } else {
+                f64::INFINITY
+            }
+        );
+        self
+    }
+
+    /// Ends the group (matching the criterion API; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark context handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<N: std::fmt::Display, F>(&mut self, id: N, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut observed = 0.0;
+        g.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            observed = b.best_ns_per_iter;
+        });
+        g.finish();
+        assert!(observed > 0.0 && observed.is_finite());
+    }
+}

@@ -5,9 +5,10 @@
 //! seeded from the experiment configuration. Identical configurations
 //! therefore produce bit-identical simulations — a property the integration
 //! tests assert.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256** seeded through
+//! splitmix64, so the workspace carries no external RNG dependency and
+//! the stream is stable across toolchains.
 
 /// A small, fast, deterministic RNG with convenience helpers.
 ///
@@ -22,23 +23,47 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Clone, Debug)]
 pub struct DetRng {
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn seeded(seed: u64) -> DetRng {
+        // Expand the seed with splitmix64 (the reference seeding
+        // procedure for the xoshiro family).
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         DetRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
         }
+    }
+
+    /// The next raw 64-bit draw (xoshiro256** step).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child stream; used to give each node or CPU
     /// its own stream without cross-coupling their draw orders.
     #[must_use]
     pub fn fork(&mut self, salt: u64) -> DetRng {
-        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         DetRng::seeded(s)
     }
 
@@ -49,7 +74,7 @@ impl DetRng {
     /// Panics if `bound` is zero.
     pub fn index(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "index bound must be positive");
-        self.inner.gen_range(0..bound)
+        self.range_u64(0, bound as u64) as usize
     }
 
     /// A uniform `u64` in `[lo, hi)`.
@@ -59,18 +84,27 @@ impl DetRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range {lo}..{hi}");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Debiased modulo: reject draws from the final partial span.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let draw = self.next_u64();
+            if draw <= zone {
+                return lo + draw % span;
+            }
+        }
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen::<f64>() < p
+        self.unit() < p
     }
 
     /// A uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits -> [0, 1) with full double precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Fisher–Yates shuffle of a slice.
@@ -142,6 +176,15 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unit_is_in_range() {
+        let mut r = DetRng::seeded(6);
+        for _ in 0..1000 {
+            let x = r.unit();
+            assert!((0.0..1.0).contains(&x));
+        }
     }
 
     #[test]

@@ -110,7 +110,11 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
-        let idx = if value == 0 { 0 } else { 63 - value.leading_zeros() as usize };
+        let idx = if value == 0 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += u128::from(value);

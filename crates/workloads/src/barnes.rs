@@ -153,18 +153,16 @@ impl Workload for Barnes {
             // its own octant, and only its nearest deep cells.
             r.parallel(&items, |ctx, _cpu, i| {
                 let path = paths[i as usize];
-                for (d, (&base, &width)) in
-                    level_base.iter().zip(level_sizes.iter()).enumerate()
-                {
+                for (d, (&base, &width)) in level_base.iter().zip(level_sizes.iter()).enumerate() {
                     let spatial = i * width / n;
                     let jitter = (path >> (d * 3)) % 3;
                     // Cells read at this level: everything coarse, a
                     // spread ring mid-tree, a local neighborhood deep.
                     let reads: u64 = match width {
-                        0..=8 => width,       // all coarse cells
-                        9..=64 => 24,         // distant-octant ring
-                        65..=512 => 24,       // mixed near/far ring
-                        _ => 4,               // nearest subtrees only
+                        0..=8 => width, // all coarse cells
+                        9..=64 => 24,   // distant-octant ring
+                        65..=512 => 24, // mixed near/far ring
+                        _ => 4,         // nearest subtrees only
                     };
                     let stride = (width / reads.max(1)).max(1);
                     for k in 0..reads {

@@ -39,9 +39,7 @@ impl Workload for Synthetic {
         });
         r.barrier();
 
-        let rounds: Vec<Vec<u64>> = (0..r.cpus())
-            .map(|_| (0..self.rounds).collect())
-            .collect();
+        let rounds: Vec<Vec<u64>> = (0..r.cpus()).map(|_| (0..self.rounds).collect()).collect();
         let stream_words = cold.len(8);
         r.parallel(&rounds, |ctx, cpu, round| {
             // Hot phase: every CPU walks all reuse pages.
@@ -75,8 +73,16 @@ fn main() {
         params.worst_case_bound()
     );
 
-    let cc = run(MachineConfig::paper_base(Protocol::paper_ccnuma()), &mut make()).cycles();
-    let sc = run(MachineConfig::paper_base(Protocol::paper_scoma()), &mut make()).cycles();
+    let cc = run(
+        MachineConfig::paper_base(Protocol::paper_ccnuma()),
+        &mut make(),
+    )
+    .cycles();
+    let sc = run(
+        MachineConfig::paper_base(Protocol::paper_scoma()),
+        &mut make(),
+    )
+    .cycles();
     println!("CC-NUMA: {cc} cycles\nS-COMA : {sc} cycles\n");
 
     println!(

@@ -34,7 +34,13 @@ impl Workload for Adversary {
         });
         r.barrier();
         let episodes: Vec<Vec<u64>> = (0..r.cpus())
-            .map(|c| if c == 4 { (0..self.episodes).collect() } else { vec![] })
+            .map(|c| {
+                if c == 4 {
+                    (0..self.episodes).collect()
+                } else {
+                    vec![]
+                }
+            })
             .collect();
         r.parallel(&episodes, |ctx, _cpu, e| {
             // Walk every page, touching two conflicting blocks

@@ -47,6 +47,54 @@ fn different_seeds_change_stochastic_workloads() {
 }
 
 #[test]
+fn parallel_driver_reports_are_bit_identical_to_serial() {
+    // The figure binaries fan (config, workload) pairs out over
+    // threads; every NormalizedReport must match the serial reference
+    // implementation exactly, on real application kernels.
+    use rnuma::experiment::{run_normalized, run_normalized_serial};
+    let configs = [
+        MachineConfig::paper_base(Protocol::ideal()),
+        MachineConfig::paper_base(Protocol::paper_ccnuma()),
+        MachineConfig::paper_base(Protocol::paper_scoma()),
+        MachineConfig::paper_base(Protocol::paper_rnuma()),
+    ];
+    for app in ["em3d", "lu", "moldyn"] {
+        let par = run_normalized(&configs, || by_name(app, Scale::Tiny).expect("known app"));
+        let ser = run_normalized_serial(&configs, || by_name(app, Scale::Tiny).expect("known app"));
+        assert_eq!(par.len(), ser.len());
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(p.report.protocol, s.report.protocol, "{app} order changed");
+            assert_eq!(
+                p.report.cycles(),
+                s.report.cycles(),
+                "{app} cycles diverged"
+            );
+            assert_eq!(
+                p.report.metrics.references(),
+                s.report.metrics.references(),
+                "{app} reference counts diverged"
+            );
+            assert_eq!(
+                p.report.metrics.remote_fetches, s.report.metrics.remote_fetches,
+                "{app} remote fetches diverged"
+            );
+            assert_eq!(
+                p.report.metrics.refetches, s.report.metrics.refetches,
+                "{app} refetches diverged"
+            );
+            assert_eq!(
+                p.report.metrics.os.page_replacements, s.report.metrics.os.page_replacements,
+                "{app} page replacements diverged"
+            );
+            assert!(
+                (p.normalized_time - s.normalized_time).abs() < f64::EPSILON,
+                "{app} normalized time diverged"
+            );
+        }
+    }
+}
+
+#[test]
 fn protocol_choice_does_not_change_reference_stream() {
     // The same workload must issue exactly the same loads and stores
     // regardless of protocol; only timing and traffic differ.
@@ -60,7 +108,9 @@ fn protocol_choice_does_not_change_reference_stream() {
         .into_iter()
         .map(|p| {
             let mut w = by_name(app, Scale::Tiny).expect("known");
-            run(MachineConfig::paper_base(p), &mut w).metrics.references()
+            run(MachineConfig::paper_base(p), &mut w)
+                .metrics
+                .references()
         })
         .collect();
         assert!(

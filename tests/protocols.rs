@@ -76,7 +76,12 @@ fn cycles(protocol: Protocol, w: &mut dyn Workload) -> u64 {
 #[test]
 fn ideal_lower_bounds_every_protocol() {
     for make in [
-        || Box::new(Reuse { pages: 30, rounds: 4 }) as Box<dyn Workload>,
+        || {
+            Box::new(Reuse {
+                pages: 30,
+                rounds: 4,
+            }) as Box<dyn Workload>
+        },
         || Box::new(Communicate { rounds: 4 }) as Box<dyn Workload>,
     ] {
         let ideal = cycles(Protocol::ideal(), &mut *make());
@@ -98,9 +103,15 @@ fn ideal_lower_bounds_every_protocol() {
 fn scoma_beats_ccnuma_on_pure_reuse() {
     // 30 hot pages >> the node cache hierarchy but << the page cache:
     // after cold misses, S-COMA serves everything locally.
-    let mut a = Reuse { pages: 30, rounds: 6 };
+    let mut a = Reuse {
+        pages: 30,
+        rounds: 6,
+    };
     let cc = cycles(Protocol::paper_ccnuma(), &mut a);
-    let mut b = Reuse { pages: 30, rounds: 6 };
+    let mut b = Reuse {
+        pages: 30,
+        rounds: 6,
+    };
     let sc = cycles(Protocol::paper_scoma(), &mut b);
     assert!(sc < cc, "S-COMA {sc} should beat CC-NUMA {cc} on reuse");
 }
@@ -109,15 +120,36 @@ fn scoma_beats_ccnuma_on_pure_reuse() {
 fn ccnuma_beats_scoma_on_pure_communication() {
     let cc = cycles(Protocol::paper_ccnuma(), &mut Communicate { rounds: 6 });
     let sc = cycles(Protocol::paper_scoma(), &mut Communicate { rounds: 6 });
-    assert!(cc < sc, "CC-NUMA {cc} should beat S-COMA {sc} on communication");
+    assert!(
+        cc < sc,
+        "CC-NUMA {cc} should beat S-COMA {sc} on communication"
+    );
 }
 
 #[test]
 fn rnuma_tracks_the_winner_on_both_extremes() {
     // Reuse: R-NUMA must approach S-COMA.
-    let sc = cycles(Protocol::paper_scoma(), &mut Reuse { pages: 30, rounds: 6 });
-    let rn = cycles(Protocol::paper_rnuma(), &mut Reuse { pages: 30, rounds: 6 });
-    let cc = cycles(Protocol::paper_ccnuma(), &mut Reuse { pages: 30, rounds: 6 });
+    let sc = cycles(
+        Protocol::paper_scoma(),
+        &mut Reuse {
+            pages: 30,
+            rounds: 6,
+        },
+    );
+    let rn = cycles(
+        Protocol::paper_rnuma(),
+        &mut Reuse {
+            pages: 30,
+            rounds: 6,
+        },
+    );
+    let cc = cycles(
+        Protocol::paper_ccnuma(),
+        &mut Reuse {
+            pages: 30,
+            rounds: 6,
+        },
+    );
     assert!(rn < cc, "reactive machine must beat CC-NUMA on reuse");
     assert!(
         (rn as f64) < sc as f64 * 3.0,
@@ -128,7 +160,10 @@ fn rnuma_tracks_the_winner_on_both_extremes() {
     let cc = cycles(Protocol::paper_ccnuma(), &mut Communicate { rounds: 6 });
     let sc = cycles(Protocol::paper_scoma(), &mut Communicate { rounds: 6 });
     let rn = cycles(Protocol::paper_rnuma(), &mut Communicate { rounds: 6 });
-    assert!(rn < sc, "reactive machine must beat S-COMA on communication");
+    assert!(
+        rn < sc,
+        "reactive machine must beat S-COMA on communication"
+    );
     assert!(
         (rn as f64) < cc as f64 * 3.0,
         "R-NUMA {rn} must stay within the bound of CC-NUMA {cc}"
@@ -139,7 +174,10 @@ fn rnuma_tracks_the_winner_on_both_extremes() {
 fn reuse_triggers_relocations_but_communication_does_not() {
     let reuse = run(
         MachineConfig::paper_base(Protocol::paper_rnuma()),
-        &mut Reuse { pages: 30, rounds: 6 },
+        &mut Reuse {
+            pages: 30,
+            rounds: 6,
+        },
     );
     assert!(reuse.metrics.os.relocations > 0);
 
