@@ -110,6 +110,31 @@ pub fn apps() -> &'static [&'static str] {
 /// produce exactly the numbers the serial loops did, just
 /// `available_parallelism()` times faster.
 ///
+/// Setting `RNUMA_SHARDS` to more than 1 routes every grid cell through
+/// the self-checking intra-machine sharded executor
+/// ([`rnuma::experiment::run_sharded_checked`]): each simulation runs
+/// serially, is replayed across that many node shards, and panics if
+/// the two executions are not bit-identical — turning any figure
+/// regeneration into a determinism proof over the whole grid.
+///
+/// # Example
+///
+/// ```
+/// use rnuma::config::{MachineConfig, Protocol};
+/// use rnuma_bench::run_grid;
+/// use rnuma_workloads::Scale;
+///
+/// let configs = [
+///     MachineConfig::paper_base(Protocol::ideal()),
+///     MachineConfig::paper_base(Protocol::paper_rnuma()),
+/// ];
+/// let rows = run_grid(&["em3d"], &configs, Scale::Tiny);
+/// assert_eq!(rows.len(), 1);
+/// assert_eq!(rows[0].len(), 2);
+/// // The ideal machine bounds the finite one from below.
+/// assert!(rows[0][1].cycles() >= rows[0][0].cycles());
+/// ```
+///
 /// # Panics
 ///
 /// Panics if any `app` is not a Table-3 application.

@@ -21,6 +21,7 @@ use crate::config::MachineConfig;
 use crate::machine::Machine;
 use crate::metrics::Metrics;
 use crate::program::{Runner, Workload};
+use crate::shard::{shards_from_env, ShardedMachine, TraceOp};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -68,6 +69,79 @@ pub fn run<W: Workload + ?Sized>(config: MachineConfig, workload: &mut W) -> Run
     }
 }
 
+/// Runs `workload` like [`run`] while recording the machine-level
+/// operation trace, returning both the report and the trace.
+///
+/// Replaying the trace on a fresh machine of the same configuration —
+/// serially or via [`ShardedMachine`] — reproduces the report's metrics
+/// bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if `config` fails validation.
+pub fn run_traced<W: Workload + ?Sized>(
+    config: MachineConfig,
+    workload: &mut W,
+) -> (RunReport, Vec<TraceOp>) {
+    let mut machine = Machine::new(config).expect("experiment configs must be valid");
+    machine.start_tracing();
+    {
+        let mut runner = Runner::new(&mut machine);
+        workload.run(&mut runner);
+    }
+    let trace = machine.take_trace();
+    let report = RunReport {
+        workload: workload.name(),
+        protocol: config.protocol.label(),
+        config,
+        metrics: machine.metrics(),
+    };
+    (report, trace)
+}
+
+/// Runs `workload` serially, then replays its trace on a
+/// [`ShardedMachine`] with `shards` shards and asserts the two
+/// executions are bit-identical, returning the (serial) report.
+///
+/// This is the self-checking mode behind `RNUMA_SHARDS`: pointing it at
+/// the full figure grid turns every experiment into a determinism proof
+/// of the sharded executor.
+///
+/// # Panics
+///
+/// Panics if `config` fails validation, or — the point of the mode — if
+/// the sharded replay diverges from the serial execution.
+pub fn run_sharded_checked<W: Workload + ?Sized>(
+    config: MachineConfig,
+    workload: &mut W,
+    shards: usize,
+) -> RunReport {
+    let (report, trace) = run_traced(config, workload);
+    let mut sharded = ShardedMachine::new(config, shards).expect("config validated above");
+    sharded.run_trace(&trace);
+    assert!(
+        report.metrics.replay_eq(&sharded.metrics()),
+        "sharded replay ({shards} shards) diverged from serial for {} on {}:\n\
+         serial:  {}\nsharded: {}",
+        report.workload,
+        report.protocol,
+        report.metrics,
+        sharded.metrics()
+    );
+    report
+}
+
+/// [`run`], honoring the `RNUMA_SHARDS` environment variable: when it
+/// requests more than one shard, the run is executed through
+/// [`run_sharded_checked`] instead. This is what the batch drivers
+/// ([`run_parallel`] and `rnuma_bench::run_grid`) call per job.
+pub fn run_env_sharded<W: Workload + ?Sized>(config: MachineConfig, workload: &mut W) -> RunReport {
+    match shards_from_env() {
+        Some(shards) if shards > 1 => run_sharded_checked(config, workload, shards),
+        _ => run(config, workload),
+    }
+}
+
 /// A report together with its execution time normalized to a baseline.
 #[derive(Clone, Debug)]
 pub struct NormalizedReport {
@@ -86,7 +160,36 @@ pub struct NormalizedReport {
 /// runs share nothing.
 ///
 /// Set `RNUMA_JOBS=1` (or any number) to override the worker count,
-/// e.g. to force serial execution when profiling.
+/// e.g. to force serial execution when profiling. Setting `RNUMA_SHARDS`
+/// to more than 1 additionally routes every job through the
+/// self-checking intra-machine sharded path
+/// ([`run_sharded_checked`]).
+///
+/// # Example
+///
+/// ```
+/// use rnuma::config::{MachineConfig, Protocol};
+/// use rnuma::experiment::run_parallel;
+/// use rnuma::program::{Runner, Workload};
+///
+/// struct Touch(u64);
+/// impl Workload for Touch {
+///     fn name(&self) -> &'static str { "touch" }
+///     fn run(&mut self, r: &mut Runner<'_>) {
+///         let data = r.alloc(self.0 * 8);
+///         let items = r.block_partition(self.0);
+///         r.parallel(&items, |ctx, _cpu, i| ctx.read(data.word(i)));
+///     }
+/// }
+///
+/// // One simulation per word count, fanned over the host's cores.
+/// let reports = run_parallel(&[256u64, 512], |&words| {
+///     (MachineConfig::paper_base(Protocol::paper_rnuma()), Touch(words))
+/// });
+/// assert_eq!(reports.len(), 2);
+/// assert_eq!(reports[0].metrics.references(), 256);
+/// assert_eq!(reports[1].metrics.references(), 512);
+/// ```
 ///
 /// # Panics
 ///
@@ -108,7 +211,7 @@ where
             .iter()
             .map(|j| {
                 let (config, mut w) = make(j);
-                run(config, &mut w)
+                run_env_sharded(config, &mut w)
             })
             .collect();
     }
@@ -125,7 +228,7 @@ where
                     break;
                 }
                 let (config, mut w) = make(&jobs[i]);
-                let report = run(config, &mut w);
+                let report = run_env_sharded(config, &mut w);
                 if tx.send((i, report)).is_err() {
                     break;
                 }

@@ -28,7 +28,13 @@
 //!   point-to-point interconnect with NI contention.
 //! * [`program`] — the shared-memory programming framework for workload
 //!   kernels (allocation, parallel phases, barriers, think time).
-//! * [`experiment`] — one-call runs and ideal-normalized batches.
+//! * [`experiment`] — one-call runs, ideal-normalized batches, and the
+//!   parallel batch driver (`RNUMA_JOBS` workers across machines,
+//!   `RNUMA_SHARDS` self-checking shards within one).
+//! * [`shard`] — deterministic epoch-sharded execution of one machine:
+//!   node shards run a trace's contained windows on worker threads and
+//!   replay cross-shard effects in canonical order, bit-identical to
+//!   serial (see `docs/DETERMINISM.md`).
 //! * [`model`] — the paper's Section-3.2 competitive analysis (EQ 1–3).
 //! * [`metrics`] — everything the paper's tables and figures report.
 //!
@@ -69,12 +75,15 @@ pub mod machine;
 pub mod metrics;
 pub mod model;
 pub mod program;
+pub mod shard;
 
 pub use config::{MachineConfig, Protocol};
 pub use experiment::{
-    run, run_normalized, run_normalized_serial, run_parallel, NormalizedReport, RunReport,
+    run, run_env_sharded, run_normalized, run_normalized_serial, run_parallel, run_sharded_checked,
+    run_traced, NormalizedReport, RunReport,
 };
 pub use machine::Machine;
 pub use metrics::{Metrics, PageProfile};
 pub use model::ModelParams;
 pub use program::{Ctx, Region, Runner, Workload};
+pub use shard::{shards_from_env, ShardStats, ShardedMachine, TraceOp};

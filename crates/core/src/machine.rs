@@ -17,24 +17,42 @@
 //! the walk. Third-party coherence actions (invalidations, downgrades)
 //! update state eagerly and charge their latency to the requester's
 //! transaction, the standard protocol-level-simulator treatment.
+//! Eviction write-backs are *posted*: they occupy the evictor's
+//! outbound NI and sink at the home's memory controller without a
+//! reply.
 //!
 //! The end-to-end uncontended costs reproduce Table 2 — see the
 //! calibration tests at the bottom of this file.
+//!
+//! # Execution lanes
+//!
+//! The reference walk itself lives in the crate-private `Lanes` engine:
+//! a view over a contiguous range of nodes (and their CPUs' clocks and
+//! MRU slots), the matching network window, a page-home view, and a
+//! metrics sink. [`Machine::access`] drives a full-range lane — the
+//! serial path — while the deterministic sharded executor
+//! ([`crate::shard::ShardedMachine`]) splits one machine into disjoint
+//! lanes and drives them from worker threads. Both paths execute the
+//! *same* walk code over the same state, which is what makes sharded
+//! runs bit-identical to serial ones (see `docs/DETERMINISM.md`).
 
 use crate::config::{MachineConfig, Protocol};
 use crate::metrics::Metrics;
+use crate::shard::TraceOp;
 use rnuma_mem::addr::{CpuId, NodeId, VBlock, VPage, Va};
 use rnuma_mem::block_cache::{BlockCache, BlockEviction, BlockState};
 use rnuma_mem::fine_tags::AccessTag;
 use rnuma_mem::l1::{L1Cache, L1Probe};
 use rnuma_mem::page_cache::{PageCache, PageVictim};
 use rnuma_mem::page_table::{Mapping, NodePageTable};
-use rnuma_net::{MsgKind, Network};
+use rnuma_net::{MsgKind, NetWindow, Network};
 use rnuma_os::{OsStats, PageManager};
 use rnuma_proto::bus::{self, BusRequest};
 use rnuma_proto::directory::Directory;
+use rnuma_proto::effect::{DirEffect, EffectKey, EffectMsg};
 use rnuma_proto::reactive::RefetchCounters;
 use rnuma_sim::{Cycles, Resource};
+use std::ops::Range;
 
 /// Extra protocol-FSM processing charged at the home per request, chosen
 /// so that the uncontended end-to-end remote fetch equals Table 2's 376
@@ -51,7 +69,7 @@ const BUS_DATA: Cycles = Cycles(4);
 /// `map`/`unmap` on the node bumps the version and invalidates the
 /// entry implicitly.
 #[derive(Clone, Copy, Debug)]
-struct MruTranslation {
+pub(crate) struct MruTranslation {
     page: VPage,
     mapping: Mapping,
     version: u64,
@@ -67,7 +85,7 @@ impl MruTranslation {
 }
 
 /// One node of the machine.
-struct Node {
+pub(crate) struct Node {
     l1s: Vec<L1Cache>,
     bus: Resource,
     rad: Resource,
@@ -116,6 +134,9 @@ pub struct Machine {
     /// Reusable eviction buffer for page flushes (no per-flush allocs).
     flush_scratch: Vec<BlockEviction>,
     metrics: Metrics,
+    /// When recording, every machine-level operation is appended here so
+    /// the run can be replayed (serially or sharded) on a fresh machine.
+    trace: Option<Vec<TraceOp>>,
 }
 
 impl Machine {
@@ -175,6 +196,7 @@ impl Machine {
             mru: vec![MruTranslation::INVALID; cfg.total_cpus() as usize],
             flush_scratch: Vec::new(),
             metrics: Metrics::default(),
+            trace: None,
             nodes,
             cfg,
         })
@@ -196,18 +218,39 @@ impl Machine {
         self.clocks[cpu.0 as usize]
     }
 
+    /// Starts recording every subsequent machine-level operation
+    /// (accesses, think time, barriers, first-touch arming) for replay.
+    ///
+    /// Take the recording with [`Machine::take_trace`].
+    pub fn start_tracing(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the operations recorded since
+    /// [`Machine::start_tracing`] (empty if tracing was never started).
+    #[must_use]
+    pub fn take_trace(&mut self) -> Vec<TraceOp> {
+        self.trace.take().unwrap_or_default()
+    }
+
     /// Advances `cpu`'s clock by `dur` (compute/think time).
     ///
     /// # Panics
     ///
     /// Panics if `cpu` is out of range.
     pub fn advance(&mut self, cpu: CpuId, dur: Cycles) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceOp::Think { cpu, dur });
+        }
         self.clocks[cpu.0 as usize] += dur;
     }
 
     /// Synchronizes all CPUs at a barrier: every clock jumps to the
     /// latest arrival plus the configured barrier cost.
     pub fn barrier_all(&mut self) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceOp::Barrier);
+        }
         let max = self.clocks.iter().copied().fold(Cycles::ZERO, Cycles::max);
         let after = max + self.cfg.barrier_cost;
         for c in &mut self.clocks {
@@ -217,6 +260,9 @@ impl Machine {
 
     /// Arms first-touch page placement (start of the parallel phase).
     pub fn arm_first_touch(&mut self) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceOp::ArmFirstTouch);
+        }
         self.pages.arm_first_touch();
     }
 
@@ -228,9 +274,41 @@ impl Machine {
     ///
     /// Panics if `cpu` is out of range.
     pub fn access(&mut self, cpu: CpuId, va: Va, write: bool) -> Cycles {
-        let latency = self.do_access(cpu, va, write);
-        self.clocks[cpu.0 as usize] += latency;
-        latency
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceOp::Access { cpu, va, write });
+        }
+        self.lanes().access(cpu, va, write)
+    }
+
+    /// Applies one recorded operation (the serial replay step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op references a CPU outside the machine.
+    pub fn apply_op(&mut self, op: &TraceOp) {
+        match *op {
+            TraceOp::Access { cpu, va, write } => {
+                self.access(cpu, va, write);
+            }
+            TraceOp::Think { cpu, dur } => self.advance(cpu, dur),
+            TraceOp::Barrier => self.barrier_all(),
+            TraceOp::ArmFirstTouch => self.arm_first_touch(),
+        }
+    }
+
+    /// Replays a recorded trace serially, in order.
+    ///
+    /// This is the reference execution the sharded replay
+    /// ([`crate::shard::ShardedMachine::run_trace`]) is bit-identical
+    /// to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an op references a CPU outside the machine.
+    pub fn replay(&mut self, ops: &[TraceOp]) {
+        for op in ops {
+            self.apply_op(op);
+        }
     }
 
     /// A snapshot of the run metrics so far (execution time fields are
@@ -255,8 +333,225 @@ impl Machine {
         m
     }
 
+    /// The full-range execution lane: the serial reference walk.
+    fn lanes(&mut self) -> Lanes<'_> {
+        Lanes {
+            cfg: &self.cfg,
+            node_base: 0,
+            nodes: &mut self.nodes,
+            cpu_base: 0,
+            clocks: &mut self.clocks,
+            mru: &mut self.mru,
+            net: self.net.full_window(),
+            homes: Homes::Live(&mut self.pages),
+            metrics: &mut self.metrics,
+            flush_scratch: &mut self.flush_scratch,
+            effects: None,
+            epoch: 0,
+            seq: 0,
+        }
+    }
+
+    /// Mutable access to the page-home table (shard pre-resolution).
+    pub(crate) fn pages_mut(&mut self) -> &mut PageManager {
+        &mut self.pages
+    }
+
+    /// Direct (sum-)merge of externally accumulated metrics.
+    pub(crate) fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// The directory of `home`, for canonical effect replay.
+    pub(crate) fn dir_mut(&mut self, home: NodeId) -> &mut Directory {
+        &mut self.nodes[home.0 as usize].dir
+    }
+
+    /// Splits the machine into one execution lane per node range, each
+    /// with its own metrics sink, flush scratch, and effect buffer.
+    ///
+    /// The ranges must tile `0..nodes`. Every lane sees *absolute* node
+    /// and CPU ids; touching state outside its range panics (except for
+    /// posted write-backs, which are buffered as effects).
+    pub(crate) fn shard_lanes<'a>(
+        &'a mut self,
+        ranges: &[Range<usize>],
+        epoch: u64,
+        metrics: &'a mut [Metrics],
+        scratch: &'a mut [Vec<BlockEviction>],
+        effects: &'a mut [Vec<EffectMsg>],
+    ) -> Vec<Lanes<'a>> {
+        assert_eq!(ranges.len(), metrics.len());
+        assert_eq!(ranges.len(), scratch.len());
+        assert_eq!(ranges.len(), effects.len());
+        let cpus_per_node = self.cfg.cpus_per_node as usize;
+        let mut lanes = Vec::with_capacity(ranges.len());
+        let mut nodes_rest: &mut [Node] = &mut self.nodes;
+        let mut clocks_rest: &mut [Cycles] = &mut self.clocks;
+        let mut mru_rest: &mut [MruTranslation] = &mut self.mru;
+        let nets = self.net.windows(ranges);
+        let pages = &self.pages;
+        let cfg = &self.cfg;
+        let mut at = 0usize;
+        for ((((r, net), m), fs), eff) in ranges
+            .iter()
+            .zip(nets)
+            .zip(metrics.iter_mut())
+            .zip(scratch.iter_mut())
+            .zip(effects.iter_mut())
+        {
+            assert_eq!(r.start, at, "ranges must tile the node space");
+            let n = r.end - r.start;
+            let (node_head, node_tail) = nodes_rest.split_at_mut(n);
+            let (clock_head, clock_tail) = clocks_rest.split_at_mut(n * cpus_per_node);
+            let (mru_head, mru_tail) = mru_rest.split_at_mut(n * cpus_per_node);
+            nodes_rest = node_tail;
+            clocks_rest = clock_tail;
+            mru_rest = mru_tail;
+            lanes.push(Lanes {
+                cfg,
+                node_base: r.start,
+                nodes: node_head,
+                cpu_base: r.start * cpus_per_node,
+                clocks: clock_head,
+                mru: mru_head,
+                net,
+                homes: Homes::Frozen(pages),
+                metrics: m,
+                flush_scratch: fs,
+                effects: Some(eff),
+                epoch,
+                seq: 0,
+            });
+            at = r.end;
+        }
+        assert_eq!(at, self.cfg.nodes as usize, "ranges must cover every node");
+        lanes
+    }
+}
+
+/// How an execution lane resolves page homes.
+///
+/// The serial walk owns the [`PageManager`] and fixes homes on first
+/// touch; a shard lane runs against a frozen view whose homes were
+/// pre-resolved — in trace order — by the coordinator before the window
+/// started, so concurrent lanes never race on the home table.
+enum Homes<'a> {
+    /// Exclusive ownership: faults fix homes on touch (serial path).
+    Live(&'a mut PageManager),
+    /// Shared frozen view: every page faulted in this window was
+    /// pre-homed by the window scan (shard path).
+    Frozen(&'a PageManager),
+}
+
+impl Homes<'_> {
+    fn on_touch(&mut self, page: VPage, toucher: NodeId) -> NodeId {
+        match self {
+            Homes::Live(pm) => pm.home_on_touch(page, toucher),
+            Homes::Frozen(pm) => pm
+                .home_of(page)
+                .expect("window scan pre-homes every page faulted in a shard window"),
+        }
+    }
+
+    fn of(&self, page: VPage) -> Option<NodeId> {
+        match self {
+            Homes::Live(pm) => pm.home_of(page),
+            Homes::Frozen(pm) => pm.home_of(page),
+        }
+    }
+}
+
+/// The reference-walk engine over one contiguous node range.
+///
+/// All node and CPU ids are absolute; a full-range lane (the serial
+/// path) owns everything, a shard lane owns its range and panics on any
+/// out-of-range touch except posted write-backs, which it buffers as
+/// canonical [`EffectMsg`]s for the epoch barrier.
+pub(crate) struct Lanes<'a> {
+    cfg: &'a MachineConfig,
+    node_base: usize,
+    nodes: &'a mut [Node],
+    cpu_base: usize,
+    clocks: &'a mut [Cycles],
+    mru: &'a mut [MruTranslation],
+    net: NetWindow<'a>,
+    homes: Homes<'a>,
+    metrics: &'a mut Metrics,
+    flush_scratch: &'a mut Vec<BlockEviction>,
+    effects: Option<&'a mut Vec<EffectMsg>>,
+    epoch: u64,
+    seq: u64,
+}
+
+impl Lanes<'_> {
+    // ------------------------------------------------------------------
+    // Windowed state accessors (absolute ids).
+    // ------------------------------------------------------------------
+
+    fn node(&self, idx: usize) -> &Node {
+        &self.nodes[idx - self.node_base]
+    }
+
+    fn node_mut(&mut self, idx: usize) -> &mut Node {
+        &mut self.nodes[idx - self.node_base]
+    }
+
+    fn owns_node(&self, idx: usize) -> bool {
+        idx >= self.node_base && idx - self.node_base < self.nodes.len()
+    }
+
+    fn clock_of(&self, cpu: CpuId) -> Cycles {
+        self.clocks[cpu.0 as usize - self.cpu_base]
+    }
+
     fn node_of(&self, cpu: CpuId) -> usize {
         (cpu.0 / self.cfg.cpus_per_node) as usize
+    }
+
+    /// Sets the global trace position of the next reference (effect
+    /// ordering); the serial path leaves it at zero.
+    pub(crate) fn set_seq(&mut self, seq: u64) {
+        self.seq = seq;
+    }
+
+    /// Advances `cpu`'s clock by `dur` (think time within a window).
+    pub(crate) fn advance(&mut self, cpu: CpuId, dur: Cycles) {
+        self.clocks[cpu.0 as usize - self.cpu_base] += dur;
+    }
+
+    /// Performs one memory reference for `cpu` at its current clock,
+    /// advancing the clock by the reference's latency, which is
+    /// returned.
+    pub(crate) fn access(&mut self, cpu: CpuId, va: Va, write: bool) -> Cycles {
+        let latency = self.do_access(cpu, va, write);
+        self.clocks[cpu.0 as usize - self.cpu_base] += latency;
+        latency
+    }
+
+    /// Posts an eviction write-back of `block` from `from` toward its
+    /// home: the network message is posted (sender-side state only), and
+    /// the home's directory transition is applied directly when the home
+    /// is inside this lane, or buffered as a canonical effect message
+    /// when it is not.
+    fn post_writeback(&mut self, now: Cycles, from: NodeId, home: NodeId, block: VBlock) {
+        self.net.post(now, from, home, MsgKind::WriteBack);
+        if self.owns_node(home.0 as usize) {
+            self.node_mut(home.0 as usize).dir.writeback(block, from);
+        } else {
+            let msg = EffectMsg {
+                key: EffectKey {
+                    epoch: self.epoch,
+                    home,
+                    seq: self.seq,
+                },
+                effect: DirEffect::WriteBack { block, from },
+            };
+            self.effects
+                .as_deref_mut()
+                .expect("cross-shard write-back outside a shard window")
+                .push(msg);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -264,7 +559,7 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn do_access(&mut self, cpu: CpuId, va: Va, write: bool) -> Cycles {
-        let start = self.clocks[cpu.0 as usize];
+        let start = self.clock_of(cpu);
         let node_idx = self.node_of(cpu);
         let node_id = NodeId(node_idx as u8);
         let l1_idx = (cpu.0 % self.cfg.cpus_per_node) as usize;
@@ -280,7 +575,7 @@ impl Machine {
 
         // 1. L1 probe (1 cycle).
         let probe = {
-            let l1 = &self.nodes[node_idx].l1s[l1_idx];
+            let l1 = &self.node(node_idx).l1s[l1_idx];
             if write {
                 l1.probe_write(block)
             } else {
@@ -289,7 +584,7 @@ impl Machine {
         };
         if probe == L1Probe::Hit {
             if write {
-                self.nodes[node_idx].l1s[l1_idx].store_hit(block);
+                self.node_mut(node_idx).l1s[l1_idx].store_hit(block);
             }
             self.metrics.l1_hits += 1;
             return Cycles(1);
@@ -300,13 +595,13 @@ impl Machine {
         // 2. Page translation. The per-CPU MRU entry short-circuits the
         //    table walk for repeated references to the same page; a soft
         //    fault maps the page on first touch.
-        let cpu_idx = cpu.0 as usize;
+        let cpu_idx = cpu.0 as usize - self.cpu_base;
         let mru = self.mru[cpu_idx];
-        let mapping = if mru.version == self.nodes[node_idx].pt.version() && mru.page == page {
+        let mapping = if mru.version == self.node(node_idx).pt.version() && mru.page == page {
             self.metrics.mru_translation_hits += 1;
             mru.mapping
         } else {
-            let m = match self.nodes[node_idx].pt.lookup(page) {
+            let m = match self.node(node_idx).pt.lookup(page) {
                 Some(m) => m,
                 None => {
                     let (m, fault_end) = self.fault_in_page(node_idx, page, t);
@@ -317,7 +612,7 @@ impl Machine {
             self.mru[cpu_idx] = MruTranslation {
                 page,
                 mapping: m,
-                version: self.nodes[node_idx].pt.version(),
+                version: self.node(node_idx).pt.version(),
             };
             m
         };
@@ -329,9 +624,9 @@ impl Machine {
             (true, _) => BusRequest::ReadExclusive,
         };
         let occ = self.cfg.bus_occupancy;
-        let grant = self.nodes[node_idx].bus.acquire(t, occ);
+        let grant = self.node_mut(node_idx).bus.acquire(t, occ);
         t = grant + occ;
-        let snoop = bus::snoop(&mut self.nodes[node_idx].l1s, l1_idx, block, request);
+        let snoop = bus::snoop(&mut self.node_mut(node_idx).l1s, l1_idx, block, request);
 
         // 4. A peer owner supplies reads cache-to-cache (write misses
         //    continue to the node-level permission check; peer copies are
@@ -400,7 +695,7 @@ impl Machine {
         if peer_had_copy {
             return Moesi::Shared;
         }
-        let node = &self.nodes[node_idx];
+        let node = self.node(node_idx);
         let node_rw = match mapping {
             Mapping::Local => {
                 let e = node.dir.entry(block);
@@ -435,9 +730,9 @@ impl Machine {
         now: Cycles,
     ) {
         let ev = if write {
-            self.nodes[node_idx].l1s[l1_idx].grant_write(block)
+            self.node_mut(node_idx).l1s[l1_idx].grant_write(block)
         } else {
-            self.nodes[node_idx].l1s[l1_idx].fill(block, state)
+            self.node_mut(node_idx).l1s[l1_idx].fill(block, state)
         };
         if let Some(ev) = ev {
             self.handle_l1_eviction(node_idx, ev.block, ev.dirty, now);
@@ -450,11 +745,11 @@ impl Machine {
             return; // clean drops are silent everywhere
         }
         let page = block.vpage();
-        match self.nodes[node_idx].pt.lookup(page) {
+        match self.node(node_idx).pt.lookup(page) {
             Some(Mapping::CcNuma) => {
                 // Inclusion holds for read-write blocks, so the block
                 // cache has the line; the write-back lands there.
-                if let Some(bc) = self.nodes[node_idx].block_cache.as_mut() {
+                if let Some(bc) = self.node_mut(node_idx).block_cache.as_mut() {
                     bc.mark_dirty(block);
                 }
             }
@@ -470,28 +765,28 @@ impl Machine {
 
     fn fault_in_page(&mut self, node_idx: usize, page: VPage, now: Cycles) -> (Mapping, Cycles) {
         let node_id = NodeId(node_idx as u8);
-        let home = self.pages.home_on_touch(page, node_id);
-        self.nodes[node_idx].os.page_faults += 1;
+        let home = self.homes.on_touch(page, node_id);
+        self.node_mut(node_idx).os.page_faults += 1;
         if home == node_id {
-            self.nodes[node_idx].pt.map(page, Mapping::Local);
+            self.node_mut(node_idx).pt.map(page, Mapping::Local);
             return (Mapping::Local, now + self.cfg.costs.page_fault());
         }
         match self.cfg.protocol {
             Protocol::CcNuma { .. } => {
-                self.nodes[node_idx].pt.map(page, Mapping::CcNuma);
-                self.nodes[node_idx].os.ccnuma_maps += 1;
+                self.node_mut(node_idx).pt.map(page, Mapping::CcNuma);
+                self.node_mut(node_idx).os.ccnuma_maps += 1;
                 (Mapping::CcNuma, now + self.cfg.costs.page_fault())
             }
             Protocol::RNuma { .. } => {
                 // R-NUMA always starts a remote page as CC-NUMA.
-                self.nodes[node_idx].pt.map(page, Mapping::CcNuma);
-                self.nodes[node_idx].os.ccnuma_maps += 1;
+                self.node_mut(node_idx).pt.map(page, Mapping::CcNuma);
+                self.node_mut(node_idx).os.ccnuma_maps += 1;
                 (Mapping::CcNuma, now + self.cfg.costs.page_fault())
             }
             Protocol::SComa { .. } => {
                 let cost = self.map_scoma_page(node_idx, page, now);
                 (
-                    self.nodes[node_idx]
+                    self.node(node_idx)
                         .pt
                         .lookup(page)
                         .expect("map_scoma_page installed a mapping"),
@@ -504,7 +799,8 @@ impl Machine {
     /// Allocates a page-cache frame for `page` and maps it S-COMA,
     /// flushing an LRM victim if needed. Returns the total OS cost.
     fn map_scoma_page(&mut self, node_idx: usize, page: VPage, now: Cycles) -> Cycles {
-        let alloc = self.nodes[node_idx]
+        let alloc = self
+            .node_mut(node_idx)
             .page_cache
             .as_mut()
             .expect("S-COMA mapping requires a page cache")
@@ -517,7 +813,7 @@ impl Machine {
             }
             None => 0,
         };
-        let node = &mut self.nodes[node_idx];
+        let node = self.node_mut(node_idx);
         node.pt.map(page, Mapping::SComa(alloc.frame));
         node.os.scoma_allocations += 1;
         node.os.tlb_shootdowns += 1;
@@ -532,21 +828,20 @@ impl Machine {
     fn flush_scoma_victim(&mut self, node_idx: usize, victim: PageVictim, now: Cycles) {
         let node_id = NodeId(node_idx as u8);
         let home = self
-            .pages
-            .home_of(victim.vpage)
+            .homes
+            .of(victim.vpage)
             .expect("cached page must have a home");
         debug_assert_ne!(home, node_id, "page cache never holds local pages");
         for (idx, tag) in victim.tags.iter_valid() {
             let block = victim.vpage.block(idx);
             if tag == AccessTag::ReadWrite {
-                self.net.send(now, node_id, home, MsgKind::WriteBack);
-                self.nodes[home.0 as usize].dir.writeback(block, node_id);
+                self.post_writeback(now, node_id, home, block);
             }
         }
-        for l1 in &mut self.nodes[node_idx].l1s {
+        for l1 in &mut self.node_mut(node_idx).l1s {
             l1.invalidate_page(victim.vpage);
         }
-        let node = &mut self.nodes[node_idx];
+        let node = self.node_mut(node_idx);
         node.pt.unmap(victim.vpage);
         node.os.page_replacements += 1;
         node.os.blocks_flushed += u64::from(victim.valid_blocks);
@@ -571,13 +866,13 @@ impl Machine {
         mut t: Cycles,
     ) -> Cycles {
         let node_id = NodeId(node_idx as u8);
-        let entry = self.nodes[node_idx].dir.entry(block);
+        let entry = self.node(node_idx).dir.entry(block);
         let foreign_owner = entry.owner.filter(|&o| o != node_id);
         let foreign_sharers = entry.sharers.without(node_id);
 
         if write {
             if foreign_owner.is_some() || !foreign_sharers.is_empty() {
-                let outcome = self.nodes[node_idx].dir.write(block, node_id, true);
+                let outcome = self.node_mut(node_idx).dir.write(block, node_id, true);
                 if let Some(owner) = outcome.fetch_from {
                     t = self.fetch_invalidate_foreign_owner(node_idx, owner, block, t);
                 }
@@ -585,14 +880,14 @@ impl Machine {
                 t = self.invalidate_sharers(node_idx, invals, block, t);
             }
         } else if let Some(owner) = foreign_owner {
-            let outcome = self.nodes[node_idx].dir.read(block, node_id);
+            let outcome = self.node_mut(node_idx).dir.read(block, node_id);
             debug_assert_eq!(outcome.fetch_from, Some(owner));
             t = self.downgrade_foreign_owner(node_idx, owner, block, t);
         }
 
         // Local memory fill: DRAM access plus the bus data return.
         let dram = self.cfg.costs.dram_access;
-        let grant = self.nodes[node_idx].mem.acquire(t, dram);
+        let grant = self.node_mut(node_idx).mem.acquire(t, dram);
         t = grant + dram + BUS_DATA;
         self.metrics.local_fills += 1;
         t
@@ -613,10 +908,11 @@ impl Machine {
     ) -> Cycles {
         use rnuma_mem::moesi::Moesi;
         let sram = self.cfg.costs.sram_access;
-        let grant = self.nodes[node_idx].rad.acquire(t, sram);
+        let grant = self.node_mut(node_idx).rad.acquire(t, sram);
         t = grant + sram;
 
-        let bc_state = self.nodes[node_idx]
+        let bc_state = self
+            .node(node_idx)
             .block_cache
             .as_ref()
             .expect("CC-NUMA mapping requires a block cache")
@@ -639,7 +935,7 @@ impl Machine {
             (true, Some(state)) if state.read_write => {
                 t += sram + BUS_DATA;
                 self.metrics.block_cache_hits += 1;
-                if let Some(bc) = self.nodes[node_idx].block_cache.as_mut() {
+                if let Some(bc) = self.node_mut(node_idx).block_cache.as_mut() {
                     bc.mark_dirty(block);
                 }
                 self.fill_l1(node_idx, l1_idx, block, true, Moesi::Modified, t);
@@ -652,7 +948,7 @@ impl Machine {
                 let holds_copy = true;
                 let (done, refetch) = self.fetch_remote(node_idx, page, block, true, holds_copy, t);
                 debug_assert!(!refetch);
-                if let Some(bc) = self.nodes[node_idx].block_cache.as_mut() {
+                if let Some(bc) = self.node_mut(node_idx).block_cache.as_mut() {
                     bc.grant_write(block);
                     bc.mark_dirty(block);
                 }
@@ -673,7 +969,8 @@ impl Machine {
                 } else {
                     BlockState::read_only()
                 };
-                let evicted = self.nodes[node_idx]
+                let evicted = self
+                    .node_mut(node_idx)
                     .block_cache
                     .as_mut()
                     .expect("checked above")
@@ -691,7 +988,8 @@ impl Machine {
                 // The reactive policy: count the refetch and relocate the
                 // page once the threshold is crossed.
                 if refetch {
-                    let crossed = self.nodes[node_idx]
+                    let crossed = self
+                        .node_mut(node_idx)
                         .counters
                         .as_mut()
                         .is_some_and(|c| c.record(page));
@@ -718,10 +1016,11 @@ impl Machine {
     ) -> Cycles {
         let sram = self.cfg.costs.sram_access;
         let dram = self.cfg.costs.dram_access;
-        let grant = self.nodes[node_idx].rad.acquire(t, sram);
+        let grant = self.node_mut(node_idx).rad.acquire(t, sram);
         t = grant + sram; // fine-grain tag check
 
-        let tag = self.nodes[node_idx]
+        let tag = self
+            .node(node_idx)
             .page_cache
             .as_ref()
             .expect("S-COMA mapping requires a page cache")
@@ -735,7 +1034,7 @@ impl Machine {
         };
         if hit {
             // Local page-cache fill from DRAM.
-            let grant = self.nodes[node_idx].mem.acquire(t, dram);
+            let grant = self.node_mut(node_idx).mem.acquire(t, dram);
             t = grant + dram + BUS_DATA;
             self.metrics.page_cache_hits += 1;
             return t;
@@ -751,7 +1050,8 @@ impl Machine {
         } else {
             AccessTag::ReadOnly
         };
-        let pc = self.nodes[node_idx]
+        let pc = self
+            .node_mut(node_idx)
             .page_cache
             .as_mut()
             .expect("checked above");
@@ -778,8 +1078,8 @@ impl Machine {
     ) -> (Cycles, bool) {
         let node_id = NodeId(node_idx as u8);
         let home = self
-            .pages
-            .home_of(page)
+            .homes
+            .of(page)
             .expect("remote access to a homeless page");
         debug_assert_ne!(home, node_id);
         let home_idx = home.0 as usize;
@@ -794,15 +1094,18 @@ impl Machine {
 
         // Home-side service.
         let sram = self.cfg.costs.sram_access;
-        let grant = self.nodes[home_idx].rad.acquire(t, sram);
+        let grant = self.node_mut(home_idx).rad.acquire(t, sram);
         t = grant + sram; // controller dispatch
         t += sram; // directory SRAM access
 
         let (fetch_from, invalidate, refetch) = if write {
-            let out = self.nodes[home_idx].dir.write(block, node_id, holds_copy);
+            let out = self
+                .node_mut(home_idx)
+                .dir
+                .write(block, node_id, holds_copy);
             (out.fetch_from, out.invalidate, out.refetch)
         } else {
-            let out = self.nodes[home_idx].dir.read(block, node_id);
+            let out = self.node_mut(home_idx).dir.read(block, node_id);
             (
                 out.fetch_from,
                 rnuma_mem::addr::NodeMask::EMPTY,
@@ -816,7 +1119,7 @@ impl Machine {
         // The home's own caches are snooped by the RAD's bus transaction
         // (home CPUs may hold the line dirty).
         let occ = self.cfg.bus_occupancy;
-        let bus_grant = self.nodes[home_idx].bus.acquire(t, occ);
+        let bus_grant = self.node_mut(home_idx).bus.acquire(t, occ);
         t = bus_grant + occ;
         let home_req = if write {
             BusRequest::ReadExclusive
@@ -824,7 +1127,7 @@ impl Machine {
             BusRequest::Read
         };
         // The RAD is its own bus agent: all of the home's caches snoop.
-        bus::snoop_all(&mut self.nodes[home_idx].l1s, block, home_req);
+        bus::snoop_all(&mut self.node_mut(home_idx).l1s, block, home_req);
 
         if let Some(owner) = fetch_from {
             if owner != home {
@@ -845,7 +1148,7 @@ impl Machine {
         let needs_data = !(write && holds_copy);
         if needs_data {
             let dram = self.cfg.costs.dram_access;
-            let grant = self.nodes[home_idx].mem.acquire(t, dram);
+            let grant = self.node_mut(home_idx).mem.acquire(t, dram);
             t = grant + dram;
         }
 
@@ -857,7 +1160,7 @@ impl Machine {
         t = self.net.send(t, home, node_id, reply);
 
         // Requester-side fill processing.
-        let grant = self.nodes[node_idx].rad.acquire(t, sram);
+        let grant = self.node_mut(node_idx).rad.acquire(t, sram);
         t = grant + sram;
         (t, refetch)
     }
@@ -875,16 +1178,16 @@ impl Machine {
         let sram = self.cfg.costs.sram_access;
         t = self.net.send(t, home, owner, MsgKind::FetchDowngrade);
         let owner_idx = owner.0 as usize;
-        let grant = self.nodes[owner_idx].rad.acquire(t, sram);
+        let grant = self.node_mut(owner_idx).rad.acquire(t, sram);
         t = grant + sram;
         self.apply_downgrade_at(owner_idx, block);
         let occ = self.cfg.bus_occupancy;
-        let bus_grant = self.nodes[owner_idx].bus.acquire(t, occ);
+        let bus_grant = self.node_mut(owner_idx).bus.acquire(t, occ);
         t = bus_grant + occ;
         t = self.net.send(t, owner, home, MsgKind::WriteBack);
         // Home memory update.
         let dram = self.cfg.costs.dram_access;
-        let grant = self.nodes[home_idx].mem.acquire(t, dram);
+        let grant = self.node_mut(home_idx).mem.acquire(t, dram);
         grant + dram
     }
 
@@ -901,15 +1204,15 @@ impl Machine {
         let sram = self.cfg.costs.sram_access;
         t = self.net.send(t, home, owner, MsgKind::FetchInvalidate);
         let owner_idx = owner.0 as usize;
-        let grant = self.nodes[owner_idx].rad.acquire(t, sram);
+        let grant = self.node_mut(owner_idx).rad.acquire(t, sram);
         t = grant + sram;
         self.apply_invalidation_at(owner_idx, block);
         let occ = self.cfg.bus_occupancy;
-        let bus_grant = self.nodes[owner_idx].bus.acquire(t, occ);
+        let bus_grant = self.node_mut(owner_idx).bus.acquire(t, occ);
         t = bus_grant + occ;
         t = self.net.send(t, owner, home, MsgKind::WriteBack);
         let dram = self.cfg.costs.dram_access;
-        let grant = self.nodes[home_idx].mem.acquire(t, dram);
+        let grant = self.node_mut(home_idx).mem.acquire(t, dram);
         grant + dram
     }
 
@@ -931,7 +1234,7 @@ impl Machine {
         for s in sharers.iter() {
             let mut ti = self.net.send(t, home, s, MsgKind::Invalidate);
             let s_idx = s.0 as usize;
-            let grant = self.nodes[s_idx].rad.acquire(ti, sram);
+            let grant = self.node_mut(s_idx).rad.acquire(ti, sram);
             ti = grant + sram;
             self.apply_invalidation_at(s_idx, block);
             ti = self.net.send(ti, s, home, MsgKind::InvalAck);
@@ -943,7 +1246,7 @@ impl Machine {
     /// Removes every copy of `block` at `node_idx` (a foreign writer took
     /// exclusive ownership).
     fn apply_invalidation_at(&mut self, node_idx: usize, block: VBlock) {
-        let node = &mut self.nodes[node_idx];
+        let node = self.node_mut(node_idx);
         if let Some(bc) = node.block_cache.as_mut() {
             bc.invalidate(block);
         }
@@ -958,7 +1261,7 @@ impl Machine {
     /// Downgrades every copy of `block` at `node_idx` to clean read-only
     /// (a foreign reader forced the dirty data home).
     fn apply_downgrade_at(&mut self, node_idx: usize, block: VBlock) {
-        let node = &mut self.nodes[node_idx];
+        let node = self.node_mut(node_idx);
         if let Some(bc) = node.block_cache.as_mut() {
             bc.downgrade(block);
         }
@@ -980,19 +1283,18 @@ impl Machine {
         }
         let node_id = NodeId(node_idx as u8);
         let mut dirty = ev.state.dirty;
-        for l1 in &mut self.nodes[node_idx].l1s {
+        for l1 in &mut self.node_mut(node_idx).l1s {
             if let Some(state) = l1.invalidate(ev.block) {
                 dirty |= state.is_dirty();
             }
         }
         let home = self
-            .pages
-            .home_of(ev.block.vpage())
+            .homes
+            .of(ev.block.vpage())
             .expect("cached block must have a home");
         debug_assert_ne!(home, node_id);
         if dirty {
-            self.net.send(now, node_id, home, MsgKind::WriteBack);
-            self.nodes[home.0 as usize].dir.writeback(ev.block, node_id);
+            self.post_writeback(now, node_id, home, ev.block);
         }
         // A clean read-write victim is dropped silently; the directory
         // still lists this node as owner, so its next request is likewise
@@ -1023,9 +1325,9 @@ impl Machine {
                 tags.set(idx, tag);
             }
         };
-        let mut flushed = std::mem::take(&mut self.flush_scratch);
+        let mut flushed = std::mem::take(self.flush_scratch);
         flushed.clear();
-        self.nodes[node_idx]
+        self.node_mut(node_idx)
             .block_cache
             .as_mut()
             .expect("R-NUMA has a block cache")
@@ -1038,10 +1340,10 @@ impl Machine {
             };
             merge(&mut moved_tags, ev.block.index_in_page(), tag);
         }
-        self.flush_scratch = flushed;
+        *self.flush_scratch = flushed;
         // L1 copies (read-only blocks may exist without a block-cache
         // line) are also replicated; dirty ones keep write permission.
-        for l1 in &mut self.nodes[node_idx].l1s {
+        for l1 in &mut self.node_mut(node_idx).l1s {
             for (b, state) in l1.iter().filter(|(b, _)| b.vpage() == page) {
                 let tag = if state.is_dirty() || state.can_write() {
                     AccessTag::ReadWrite
@@ -1054,7 +1356,8 @@ impl Machine {
         }
 
         // 2. Allocate a frame (possibly cleaning an LRM victim).
-        let alloc = self.nodes[node_idx]
+        let alloc = self
+            .node_mut(node_idx)
             .page_cache
             .as_mut()
             .expect("R-NUMA has a page cache")
@@ -1069,7 +1372,8 @@ impl Machine {
         // 3. Install tags for the replicated blocks and remap the page.
         let moved = moved_tags.count_valid();
         {
-            let pc = self.nodes[node_idx]
+            let pc = self
+                .node_mut(node_idx)
                 .page_cache
                 .as_mut()
                 .expect("checked above");
@@ -1077,7 +1381,7 @@ impl Machine {
                 pc.set_tag(page, idx, tag);
             }
         }
-        let node = &mut self.nodes[node_idx];
+        let node = self.node_mut(node_idx);
         node.pt.map(page, Mapping::SComa(alloc.frame));
         node.os.relocations += 1;
         node.os.tlb_shootdowns += 1;
@@ -1085,7 +1389,6 @@ impl Machine {
         cost + self.cfg.costs.page_relocation(moved)
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -172,6 +172,79 @@ impl Metrics {
         self.remote_fetches += 1;
         self.pages.entry_or_default(page).remote_fetches += 1;
     }
+
+    /// The per-page profiles in ascending page order.
+    ///
+    /// [`Metrics::pages`] is an insertion-ordered hash table, so its
+    /// iteration order depends on execution history; sorted access is
+    /// what reports and cross-mode comparisons should use.
+    #[must_use]
+    pub fn pages_sorted(&self) -> Vec<(VPage, PageProfile)> {
+        let mut v: Vec<(VPage, PageProfile)> = self.pages.iter().map(|(k, p)| (k, *p)).collect();
+        v.sort_unstable_by_key(|&(page, _)| page);
+        v
+    }
+
+    /// Folds another metrics record into this one and resets the other
+    /// to zero (used to merge per-shard metric deltas in canonical shard
+    /// order).
+    ///
+    /// Only the event counters and per-page profiles are folded; the
+    /// state-derived fields (`exec_cycles`, `per_cpu_cycles`, `os`,
+    /// `relocation_interrupts`, `net_messages`, `ni_wait`) are refreshed
+    /// from machine state by [`crate::machine::Machine::metrics`] and
+    /// carry no standalone deltas.
+    pub fn absorb(&mut self, other: &mut Metrics) {
+        self.reads += std::mem::take(&mut other.reads);
+        self.writes += std::mem::take(&mut other.writes);
+        self.l1_hits += std::mem::take(&mut other.l1_hits);
+        self.mru_translation_hits += std::mem::take(&mut other.mru_translation_hits);
+        self.l1_misses += std::mem::take(&mut other.l1_misses);
+        self.c2c_transfers += std::mem::take(&mut other.c2c_transfers);
+        self.local_fills += std::mem::take(&mut other.local_fills);
+        self.block_cache_hits += std::mem::take(&mut other.block_cache_hits);
+        self.page_cache_hits += std::mem::take(&mut other.page_cache_hits);
+        self.remote_fetches += std::mem::take(&mut other.remote_fetches);
+        self.refetches += std::mem::take(&mut other.refetches);
+        for (page, p) in other.pages.iter() {
+            let mine = self.pages.entry_or_default(page);
+            mine.accessors = mine.accessors.union(p.accessors);
+            mine.writers = mine.writers.union(p.writers);
+            mine.refetches += p.refetches;
+            mine.remote_fetches += p.remote_fetches;
+        }
+        other.pages.clear();
+    }
+
+    /// `true` when `other` is a bit-identical replay of this run: every
+    /// event counter, clock, OS statistic, network figure, and per-page
+    /// profile matches.
+    ///
+    /// This is the determinism contract between execution modes (serial,
+    /// parallel driver, sharded); the per-page comparison is on sorted
+    /// contents, because the hash tables' internal layouts legitimately
+    /// differ between modes while holding identical profiles.
+    #[must_use]
+    pub fn replay_eq(&self, other: &Metrics) -> bool {
+        self.reads == other.reads
+            && self.writes == other.writes
+            && self.l1_hits == other.l1_hits
+            && self.mru_translation_hits == other.mru_translation_hits
+            && self.l1_misses == other.l1_misses
+            && self.c2c_transfers == other.c2c_transfers
+            && self.local_fills == other.local_fills
+            && self.block_cache_hits == other.block_cache_hits
+            && self.page_cache_hits == other.page_cache_hits
+            && self.remote_fetches == other.remote_fetches
+            && self.refetches == other.refetches
+            && self.relocation_interrupts == other.relocation_interrupts
+            && self.os == other.os
+            && self.exec_cycles == other.exec_cycles
+            && self.per_cpu_cycles == other.per_cpu_cycles
+            && self.net_messages == other.net_messages
+            && self.ni_wait == other.ni_wait
+            && self.pages_sorted() == other.pages_sorted()
+    }
 }
 
 impl fmt::Display for Metrics {

@@ -1,0 +1,631 @@
+//! Deterministic epoch-sharded machine execution.
+//!
+//! PR 1 parallelized experiments *across* machines; this module
+//! parallelizes the reference walk *within* one machine, with results
+//! that are **bit-identical** to the serial walk. The design follows the
+//! structure of the problem rather than fighting it:
+//!
+//! 1. **Traces.** A run is replayed from a [`TraceOp`] stream (recorded
+//!    with [`Machine::start_tracing`] or synthesized directly). The
+//!    trace fixes the global reference order; `seq` — an op's position
+//!    in the trace — is the canonical serialization every execution mode
+//!    must reproduce.
+//! 2. **Shards.** The machine's nodes are block-partitioned into
+//!    contiguous shards; a CPU belongs to its node's shard. R-NUMA is
+//!    per-node-reactive, so all per-node protocol state (L1s, bus, RAD,
+//!    page table, caches, directory, refetch counters) splits cleanly
+//!    along node boundaries.
+//! 3. **Epochs (contained windows).** The executor scans the trace
+//!    forward, classifying each op against the monotone per-page *shard
+//!    footprint* (which shards have ever referenced the page) and the
+//!    page's home. An access is **contained** when its page's home lies
+//!    in the issuer's shard and its footprint is exactly the issuer's
+//!    shard: the entire walk — coherence actions included — then
+//!    provably touches only shard-local state, so ops of different
+//!    shards commute and each shard may execute its subsequence, in
+//!    order, on its own thread. The maximal contained prefix forms one
+//!    epoch; the first non-contained op ends it and executes serially
+//!    between epochs.
+//! 4. **Ordered cross-shard effects.** The one way a contained walk can
+//!    reach another shard is the posted write-back of an eviction victim
+//!    homed elsewhere. Its network cost is sender-side by construction
+//!    ([`NetWindow::post`](rnuma_net::net::NetWindow::post)); the
+//!    remote directory transition is buffered as an [`EffectMsg`]
+//!    and applied at the
+//!    epoch barrier in canonical `(epoch, home, seq)` order. No
+//!    contained op can observe that directory state before the barrier
+//!    (any op that could is, by the footprint rule, not contained), so
+//!    deferral is exact.
+//!
+//! The full argument for why this reproduces the serial execution
+//! bit-for-bit is spelled out in `docs/DETERMINISM.md`; the workspace
+//! determinism tests enforce it across the paper's whole figure grid.
+
+use crate::config::{ConfigError, MachineConfig};
+use crate::machine::Machine;
+use crate::metrics::Metrics;
+use rnuma_mem::addr::{CpuId, NodeId, VPage, Va};
+use rnuma_mem::block_cache::BlockEviction;
+use rnuma_mem::fxmap::FxMap;
+use rnuma_proto::effect::EffectMsg;
+use rnuma_sim::{Cycles, EpochClock};
+use std::ops::Range;
+
+/// One replayable machine-level operation.
+///
+/// A trace of these is a complete record of a run: replaying it on a
+/// fresh machine of the same configuration reproduces the run exactly,
+/// serially or sharded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    /// One memory reference.
+    Access {
+        /// The issuing CPU.
+        cpu: CpuId,
+        /// The virtual address referenced.
+        va: Va,
+        /// `true` for a store.
+        write: bool,
+    },
+    /// Compute time on one CPU.
+    Think {
+        /// The computing CPU.
+        cpu: CpuId,
+        /// The duration charged.
+        dur: Cycles,
+    },
+    /// A global barrier across all CPUs.
+    Barrier,
+    /// Arms first-touch page placement.
+    ArmFirstTouch,
+}
+
+/// Execution statistics of a sharded run (scheduling diagnostics; these
+/// are about the *executor*, not the simulated machine).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Contained windows executed (serial-inline or parallel).
+    pub windows: u64,
+    /// Windows large enough to fan out across worker threads.
+    pub parallel_windows: u64,
+    /// Ops executed inside contained windows.
+    pub contained_ops: u64,
+    /// Ops executed serially between windows (cross-shard accesses,
+    /// barriers, first-touch arming).
+    pub serialized_ops: u64,
+    /// Cross-shard directory effects replayed at epoch barriers.
+    pub effects_applied: u64,
+}
+
+/// Footprint record of one page: which shards ever referenced it, and
+/// its (immutable once fixed) home.
+#[derive(Clone, Copy, Debug)]
+struct PageInfo {
+    shard_mask: u32,
+    home: NodeId,
+}
+
+/// Upper bound on shards (the footprint mask is a `u32`).
+pub const MAX_SHARDS: usize = 32;
+
+/// Contained windows shorter than this run inline on the coordinator —
+/// thread fan-out only pays off once a window amortizes the spawn cost.
+const DEFAULT_PARALLEL_THRESHOLD: usize = 256;
+
+/// How the scanner classified one op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Class {
+    /// Provably shard-contained: may run inside the current window.
+    Contained,
+    /// Needs the whole machine (cross-shard access or global op): ends
+    /// the window and runs serially.
+    Blocking,
+}
+
+/// A [`Machine`] executed in deterministic node shards.
+///
+/// # Example
+///
+/// ```
+/// use rnuma::config::{MachineConfig, Protocol};
+/// use rnuma::machine::Machine;
+/// use rnuma::shard::ShardedMachine;
+/// use rnuma_mem::addr::{CpuId, Va};
+///
+/// let config = MachineConfig::paper_base(Protocol::paper_rnuma());
+/// // Record a run...
+/// let mut serial = Machine::new(config).unwrap();
+/// serial.start_tracing();
+/// serial.access(CpuId(0), Va(0x1000), true);
+/// serial.access(CpuId(17), Va(0x9000), false);
+/// let trace = serial.take_trace();
+/// // ...and replay it across 4 shards: the metrics are bit-identical.
+/// let mut sharded = ShardedMachine::new(config, 4).unwrap();
+/// sharded.run_trace(&trace);
+/// assert!(serial.metrics().replay_eq(&sharded.metrics()));
+/// ```
+#[derive(Debug)]
+pub struct ShardedMachine {
+    machine: Machine,
+    /// Contiguous node range of each shard.
+    ranges: Vec<Range<usize>>,
+    /// Node index → owning shard.
+    shard_of_node: Vec<u8>,
+    /// Monotone per-page footprint + resolved home, maintained by the
+    /// window scan.
+    pages_seen: FxMap<VPage, PageInfo>,
+    epochs: EpochClock,
+    parallel_threshold: usize,
+    // Per-shard scratch, reused across windows.
+    shard_metrics: Vec<Metrics>,
+    shard_scratch: Vec<Vec<BlockEviction>>,
+    shard_effects: Vec<Vec<EffectMsg>>,
+    op_buckets: Vec<Vec<(u64, TraceOp)>>,
+    stats: ShardStats,
+}
+
+impl ShardedMachine {
+    /// Builds a fresh machine from `config`, partitioned into `shards`
+    /// contiguous node shards (clamped to `1..=min(nodes, MAX_SHARDS)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error, if any.
+    pub fn new(config: MachineConfig, shards: usize) -> Result<ShardedMachine, ConfigError> {
+        let machine = Machine::new(config)?;
+        let nodes = config.nodes as usize;
+        let shards = shards.clamp(1, nodes.min(MAX_SHARDS));
+        // Block-partition the nodes (same scheme as Runner::block_partition).
+        let ranges: Vec<Range<usize>> = (0..shards)
+            .map(|s| (nodes * s / shards)..(nodes * (s + 1) / shards))
+            .collect();
+        let mut shard_of_node = vec![0u8; nodes];
+        for (s, r) in ranges.iter().enumerate() {
+            for n in r.clone() {
+                shard_of_node[n] = s as u8;
+            }
+        }
+        Ok(ShardedMachine {
+            machine,
+            shard_of_node,
+            pages_seen: FxMap::new(),
+            epochs: EpochClock::new(),
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            shard_metrics: (0..shards).map(|_| Metrics::default()).collect(),
+            shard_scratch: (0..shards).map(|_| Vec::new()).collect(),
+            shard_effects: (0..shards).map(|_| Vec::new()).collect(),
+            op_buckets: (0..shards).map(|_| Vec::new()).collect(),
+            stats: ShardStats::default(),
+            ranges,
+        })
+    }
+
+    /// Number of shards the node space is partitioned into.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Executor scheduling statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// Overrides the minimum window size for thread fan-out (benchmarks
+    /// and tests; the default suits production runs).
+    pub fn set_parallel_threshold(&mut self, ops: usize) {
+        self.parallel_threshold = ops.max(1);
+    }
+
+    /// The underlying machine (read-only; diagnostics).
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// A snapshot of the run metrics so far.
+    ///
+    /// Valid between [`ShardedMachine::run_trace`] calls (shard-local
+    /// metrics are folded in at the end of each call).
+    #[must_use]
+    pub fn metrics(&self) -> Metrics {
+        self.machine.metrics()
+    }
+
+    /// Replays `ops` deterministically across the shards.
+    ///
+    /// The resulting machine state and metrics are bit-identical to a
+    /// serial [`Machine`] executing the same trace, for any shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an op references a CPU outside the machine, or
+    /// (indicating an executor bug) if a contained window touches
+    /// out-of-shard state.
+    pub fn run_trace(&mut self, ops: &[TraceOp]) {
+        let mut cursor = 0usize;
+        while cursor < ops.len() {
+            // Scan the maximal contained window.
+            let mut end = cursor;
+            while end < ops.len() && self.classify(&ops[end]) == Class::Contained {
+                end += 1;
+            }
+            self.exec_window(ops, cursor, end);
+            // Execute the blocking op (if any) serially on the whole
+            // machine, then start the next epoch.
+            if end < ops.len() {
+                self.exec_blocking(&ops[end]);
+                end += 1;
+            }
+            cursor = end;
+            self.epochs.advance();
+        }
+        self.fold_shard_metrics();
+    }
+
+    /// Shard of the node `cpu` lives on.
+    fn shard_of_cpu(&self, cpu: CpuId) -> usize {
+        let node = (cpu.0 / self.machine.config().cpus_per_node) as usize;
+        self.shard_of_node[node] as usize
+    }
+
+    /// Classifies one op, updating the page footprint and pre-resolving
+    /// the page's home exactly as the serial fault would.
+    ///
+    /// The home resolution is sound to run at scan time: a page's first
+    /// trace reference is necessarily its first machine-wide fault (an
+    /// unhomed page cannot be mapped — or cached — anywhere), the scan
+    /// visits references in trace order, and the scan never runs past a
+    /// blocking op, so it cannot observe a not-yet-executed
+    /// `ArmFirstTouch`.
+    fn classify(&mut self, op: &TraceOp) -> Class {
+        match *op {
+            TraceOp::Think { .. } => Class::Contained,
+            TraceOp::Barrier | TraceOp::ArmFirstTouch => Class::Blocking,
+            TraceOp::Access { cpu, va, .. } => {
+                let shard = self.shard_of_cpu(cpu);
+                let bit = 1u32 << shard;
+                let page = va.vpage();
+                let info = if let Some(info) = self.pages_seen.get_mut(page) {
+                    info.shard_mask |= bit;
+                    *info
+                } else {
+                    let node = NodeId((cpu.0 / self.machine.config().cpus_per_node) as u8);
+                    let home = self.machine.pages_mut().home_on_touch(page, node);
+                    let info = PageInfo {
+                        shard_mask: bit,
+                        home,
+                    };
+                    self.pages_seen.insert(page, info);
+                    info
+                };
+                let home_shard = self.shard_of_node[info.home.0 as usize] as usize;
+                if info.shard_mask == bit && home_shard == shard {
+                    Class::Contained
+                } else {
+                    Class::Blocking
+                }
+            }
+        }
+    }
+
+    /// Executes a contained window: inline when small or single-sharded,
+    /// fanned out one thread per shard otherwise, with cross-shard
+    /// effects replayed in canonical order at the closing barrier.
+    fn exec_window(&mut self, ops: &[TraceOp], start: usize, end: usize) {
+        if start == end {
+            return;
+        }
+        self.stats.windows += 1;
+        self.stats.contained_ops += (end - start) as u64;
+        if self.ranges.len() == 1 || end - start < self.parallel_threshold {
+            self.machine.replay(&ops[start..end]);
+            return;
+        }
+        self.stats.parallel_windows += 1;
+
+        // Bucket the window per shard, tagging each op with its global
+        // sequence number (the canonical serialization order).
+        for bucket in &mut self.op_buckets {
+            bucket.clear();
+        }
+        for (i, op) in ops[start..end].iter().enumerate() {
+            let shard = match *op {
+                TraceOp::Access { cpu, .. } | TraceOp::Think { cpu, .. } => self.shard_of_cpu(cpu),
+                TraceOp::Barrier | TraceOp::ArmFirstTouch => {
+                    unreachable!("global ops never enter a contained window")
+                }
+            };
+            self.op_buckets[shard].push(((start + i) as u64, *op));
+        }
+
+        // One lane per shard; scoped threads drive the non-empty ones.
+        let epoch = self.epochs.current().0;
+        let lanes = self.machine.shard_lanes(
+            &self.ranges,
+            epoch,
+            &mut self.shard_metrics,
+            &mut self.shard_scratch,
+            &mut self.shard_effects,
+        );
+        let buckets = &self.op_buckets;
+        std::thread::scope(|scope| {
+            let mut inline: Option<(crate::machine::Lanes<'_>, _)> = None;
+            for pair @ (_, bucket) in lanes.into_iter().zip(buckets) {
+                if bucket.is_empty() {
+                    continue;
+                }
+                // The first non-empty shard runs on the coordinator
+                // thread; the rest fan out.
+                if inline.is_none() {
+                    inline = Some(pair);
+                    continue;
+                }
+                let (mut lane, bucket) = pair;
+                scope.spawn(move || run_bucket(&mut lane, bucket));
+            }
+            if let Some((mut lane, bucket)) = inline {
+                run_bucket(&mut lane, bucket);
+            }
+        });
+
+        // Epoch barrier: replay buffered cross-shard directory effects
+        // in canonical (epoch, home, seq) order.
+        let mut effects: Vec<EffectMsg> = self
+            .shard_effects
+            .iter_mut()
+            .flat_map(|buf| buf.drain(..))
+            .collect();
+        // Buffers drain at their own window's barrier, so a batch holds
+        // exactly one epoch; the key's epoch component documents the
+        // model rather than discriminating here.
+        debug_assert!(effects.iter().all(|msg| msg.key.epoch == epoch));
+        effects.sort_unstable_by_key(|msg| msg.key);
+        self.stats.effects_applied += effects.len() as u64;
+        for msg in effects {
+            self.machine.dir_mut(msg.key.home).apply(msg.effect);
+        }
+    }
+
+    fn exec_blocking(&mut self, op: &TraceOp) {
+        self.stats.serialized_ops += 1;
+        self.machine.apply_op(op);
+    }
+
+    /// Folds the shards' metric deltas into the machine's metrics, in
+    /// canonical shard order.
+    fn fold_shard_metrics(&mut self) {
+        for sm in &mut self.shard_metrics {
+            self.machine.metrics_mut().absorb(sm);
+        }
+    }
+}
+
+/// Replays one shard's window subsequence, in canonical order.
+fn run_bucket(lane: &mut crate::machine::Lanes<'_>, bucket: &[(u64, TraceOp)]) {
+    for &(seq, op) in bucket {
+        match op {
+            TraceOp::Access { cpu, va, write } => {
+                lane.set_seq(seq);
+                lane.access(cpu, va, write);
+            }
+            TraceOp::Think { cpu, dur } => lane.advance(cpu, dur),
+            TraceOp::Barrier | TraceOp::ArmFirstTouch => {
+                unreachable!("global ops never enter a contained window")
+            }
+        }
+    }
+}
+
+/// The shard count requested via `RNUMA_SHARDS`, if any.
+///
+/// `RNUMA_SHARDS=1` explicitly requests the single-threaded path;
+/// unset/unparsable means "no intra-machine sharding requested".
+#[must_use]
+pub fn shards_from_env() -> Option<usize> {
+    std::env::var("RNUMA_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.clamp(1, MAX_SHARDS))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Protocol;
+
+    fn config() -> MachineConfig {
+        MachineConfig::paper_base(Protocol::paper_rnuma())
+    }
+
+    /// A partitioned stream: each CPU walks pages in its own node's
+    /// region (fully contained), with a few shared-page accesses mixed
+    /// in (blocking).
+    fn mixed_trace(refs_per_cpu: u64, shared_every: u64) -> Vec<TraceOp> {
+        let mut ops = Vec::new();
+        ops.push(TraceOp::ArmFirstTouch);
+        for i in 0..refs_per_cpu {
+            for cpu in 0..32u16 {
+                let node = u64::from(cpu / 4);
+                let va = Va(((1 + node) << 20) + (i / 128) * 65536 + (i * 32) % 4096);
+                ops.push(TraceOp::Access {
+                    cpu: CpuId(cpu),
+                    va,
+                    write: i % 7 == 0,
+                });
+                if shared_every != 0 && i % shared_every == 3 && cpu % 9 == 0 {
+                    // A page everyone touches: permanently cross-shard.
+                    ops.push(TraceOp::Access {
+                        cpu: CpuId(cpu),
+                        va: Va(0xF00_0000 + (i % 8) * 32),
+                        write: false,
+                    });
+                }
+            }
+            if i % 64 == 63 {
+                ops.push(TraceOp::Barrier);
+            }
+        }
+        ops
+    }
+
+    fn serial_replay_on(config: MachineConfig, ops: &[TraceOp]) -> Metrics {
+        let mut m = Machine::new(config).unwrap();
+        m.replay(ops);
+        m.metrics()
+    }
+
+    #[test]
+    fn sharded_replay_is_bit_identical_to_serial() {
+        let ops = mixed_trace(192, 16);
+        let serial = serial_replay_on(config(), &ops);
+        for shards in [1usize, 2, 4, 8] {
+            let mut sm = ShardedMachine::new(config(), shards).unwrap();
+            sm.set_parallel_threshold(32); // exercise the threaded path
+            sm.run_trace(&ops);
+            assert!(
+                serial.replay_eq(&sm.metrics()),
+                "{shards} shards diverged from serial:\nserial: {serial}\nsharded: {}",
+                sm.metrics()
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_never_fans_out() {
+        let ops = mixed_trace(64, 0);
+        let mut sm = ShardedMachine::new(config(), 1).unwrap();
+        sm.set_parallel_threshold(1);
+        sm.run_trace(&ops);
+        assert_eq!(sm.shards(), 1);
+        assert_eq!(
+            sm.stats().parallel_windows,
+            0,
+            "one shard must stay on the coordinator thread"
+        );
+        assert!(sm.stats().contained_ops > 0);
+    }
+
+    #[test]
+    fn partitioned_trace_forms_large_windows() {
+        let ops = mixed_trace(128, 0);
+        let mut sm = ShardedMachine::new(config(), 4).unwrap();
+        sm.set_parallel_threshold(64);
+        sm.run_trace(&ops);
+        let stats = sm.stats();
+        assert!(stats.parallel_windows > 0, "expected fan-out: {stats:?}");
+        // Fully partitioned references are all contained; only barriers
+        // and the arm op serialize.
+        assert!(
+            stats.contained_ops > 30 * stats.serialized_ops,
+            "partitioned trace should be almost entirely contained: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn cross_shard_eviction_writebacks_are_deferred_and_exact() {
+        // A 4-line block cache guarantees conflict evictions; a huge
+        // threshold keeps relocation out of the picture.
+        let config = MachineConfig::paper_base(Protocol::RNuma {
+            block_cache_bytes: 128,
+            page_cache_bytes: 320 * 1024,
+            threshold: 1_000_000,
+        });
+        let mut ops = vec![TraceOp::ArmFirstTouch];
+        let p = 0x80_0000u64; // page homed at node 5 (shard 2 of 4)
+        ops.push(TraceOp::Access {
+            cpu: CpuId(20),
+            va: Va(p),
+            write: true,
+        });
+        // Node 0 dirties blocks of the shard-2-homed page: cross-shard
+        // accesses, leaving dirty lines in node 0's block cache.
+        for b in 0..4u64 {
+            ops.push(TraceOp::Access {
+                cpu: CpuId(0),
+                va: Va(p + b * 32),
+                write: true,
+            });
+        }
+        // Node 1 homes pages Q; node 0 then streams over them: a fully
+        // contained window (home and footprint in shard 0) whose
+        // block-cache fills evict the dirty shard-2 blocks — the posted
+        // write-backs must cross the shard boundary as ordered effects.
+        for q in 0..4u64 {
+            ops.push(TraceOp::Access {
+                cpu: CpuId(4),
+                va: Va(0x10_0000 + q * 4096),
+                write: true,
+            });
+        }
+        for i in 0..64u64 {
+            ops.push(TraceOp::Access {
+                cpu: CpuId(0),
+                va: Va(0x10_0000 + (i % 4) * 4096 + (i / 4) * 32),
+                write: false,
+            });
+        }
+        // Node 5 reads its page back: the deferred write-backs must have
+        // landed (owner cleared, was-owner set) exactly as in serial.
+        for b in 0..4u64 {
+            ops.push(TraceOp::Access {
+                cpu: CpuId(21),
+                va: Va(p + b * 32),
+                write: false,
+            });
+        }
+        let serial = serial_replay_on(config, &ops);
+        let mut sm = ShardedMachine::new(config, 4).unwrap();
+        sm.set_parallel_threshold(8);
+        sm.run_trace(&ops);
+        assert!(
+            sm.stats().effects_applied > 0,
+            "expected deferred cross-shard write-backs: {:?}",
+            sm.stats()
+        );
+        assert!(
+            serial.replay_eq(&sm.metrics()),
+            "deferred effects diverged:\nserial: {serial}\nsharded: {}",
+            sm.metrics()
+        );
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_nodes() {
+        let sm = ShardedMachine::new(config(), 64).unwrap();
+        assert_eq!(sm.shards(), 8);
+        let sm = ShardedMachine::new(config(), 0).unwrap();
+        assert_eq!(sm.shards(), 1);
+    }
+
+    #[test]
+    fn traced_machine_records_every_op_kind() {
+        let mut m = Machine::new(config()).unwrap();
+        m.start_tracing();
+        m.arm_first_touch();
+        m.access(CpuId(0), Va(0x1000), true);
+        m.advance(CpuId(0), Cycles(10));
+        m.barrier_all();
+        let trace = m.take_trace();
+        assert_eq!(
+            trace,
+            vec![
+                TraceOp::ArmFirstTouch,
+                TraceOp::Access {
+                    cpu: CpuId(0),
+                    va: Va(0x1000),
+                    write: true
+                },
+                TraceOp::Think {
+                    cpu: CpuId(0),
+                    dur: Cycles(10)
+                },
+                TraceOp::Barrier,
+            ]
+        );
+        // Tracing is off after take_trace.
+        m.access(CpuId(0), Va(0x1000), false);
+        assert!(m.take_trace().is_empty());
+    }
+}

@@ -16,6 +16,8 @@
 //!   replacement.
 //! * [`page_table`] — per-node page tables mapping pages to local,
 //!   CC-NUMA, or S-COMA modes.
+//! * [`fxmap`] — the open-addressed, deterministic FxHash tables every
+//!   hot-path lookup structure above is built on.
 //!
 //! Everything here is *state only*: the simulator never materializes data
 //! values, exactly like a protocol-level execution-driven simulator. The

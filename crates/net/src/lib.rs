@@ -6,8 +6,9 @@
 //!
 //! * [`msg`] — the directory protocol's message vocabulary and size
 //!   classes;
-//! * [`net`] — the [`Network`](net::Network): constant-latency fabric
-//!   plus per-node FCFS NI ports in both directions.
+//! * [`net`] — the [`Network`]: constant-latency fabric plus per-node
+//!   FCFS NI ports in both directions, splittable into per-shard
+//!   [`NetWindow`]s for the deterministic sharded executor.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -17,4 +18,4 @@ pub mod msg;
 pub mod net;
 
 pub use msg::{MsgKind, SizeClass};
-pub use net::{NetConfig, Network};
+pub use net::{NetConfig, NetWindow, Network};

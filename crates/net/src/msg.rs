@@ -51,6 +51,10 @@ pub enum SizeClass {
 }
 
 impl MsgKind {
+    /// Number of message kinds (the length of [`MsgKind::all`]), for
+    /// sizing array-backed statistics.
+    pub const COUNT: usize = 13;
+
     /// The size class of this message kind.
     #[must_use]
     pub fn size_class(self) -> SizeClass {
@@ -89,13 +93,11 @@ impl MsgKind {
         ]
     }
 
-    /// A dense index for array-backed statistics.
+    /// A dense index for array-backed statistics (declaration order,
+    /// matching [`MsgKind::all`]).
     #[must_use]
     pub fn index(self) -> usize {
-        MsgKind::all()
-            .iter()
-            .position(|&k| k == self)
-            .expect("all() is exhaustive")
+        self as usize
     }
 }
 
@@ -136,7 +138,7 @@ mod tests {
     #[test]
     fn all_is_exhaustive_and_indexable() {
         let all = MsgKind::all();
-        assert_eq!(all.len(), 13);
+        assert_eq!(all.len(), MsgKind::COUNT);
         for (i, &k) in all.iter().enumerate() {
             assert_eq!(k.index(), i);
         }

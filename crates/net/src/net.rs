@@ -6,10 +6,30 @@
 //! contention-free and adds [`NetConfig::latency`] to every message, while
 //! each node has one outbound and one inbound FCFS network-interface
 //! port whose occupancy depends on the message's size class.
+//!
+//! # Sharded execution
+//!
+//! All per-message state (both NI ports and the send counters, which are
+//! attributed to the *sender*) lives in one [`NodeNi`] per node, so a
+//! machine partitioned into node shards can split the network into
+//! disjoint [`NetWindow`]s with [`Network::windows`] and let each shard
+//! drive its own nodes' traffic concurrently. Two message operations
+//! exist:
+//!
+//! * [`NetWindow::send`] — a synchronous transaction hop: occupies the
+//!   sender's out-NI *and* the receiver's in-NI, so both endpoints must
+//!   belong to the window.
+//! * [`NetWindow::post`] — a posted (fire-and-forget) message, used for
+//!   eviction write-backs: it occupies only the sender's out-NI and
+//!   sinks at the destination's memory controller without occupying the
+//!   in-NI port, so only the *sender* must belong to the window. This is
+//!   what lets a shard evict a page homed in another shard without
+//!   touching that shard's timing state.
 
 use crate::msg::{MsgKind, SizeClass};
 use rnuma_mem::addr::NodeId;
 use rnuma_sim::{Cycles, Resource};
+use std::ops::Range;
 
 /// Interconnect timing parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,6 +65,37 @@ impl NetConfig {
     }
 }
 
+/// One node's complete network-interface state: both FCFS ports plus the
+/// node's (sender-attributed) message counters.
+#[derive(Clone, Debug)]
+pub struct NodeNi {
+    out: Resource,
+    inbound: Resource,
+    sent_by_kind: [u64; MsgKind::COUNT],
+}
+
+impl NodeNi {
+    fn new() -> NodeNi {
+        NodeNi {
+            out: Resource::new("ni-out"),
+            inbound: Resource::new("ni-in"),
+            sent_by_kind: [0; MsgKind::COUNT],
+        }
+    }
+
+    /// Messages this node has sent, of any kind.
+    #[must_use]
+    pub fn total_sent(&self) -> u64 {
+        self.sent_by_kind.iter().sum()
+    }
+
+    /// Queueing delay imposed by this node's two NI ports.
+    #[must_use]
+    pub fn wait(&self) -> Cycles {
+        self.out.total_wait() + self.inbound.total_wait()
+    }
+}
+
 /// The constant-latency fabric plus per-node NI ports.
 ///
 /// # Example
@@ -63,10 +114,7 @@ impl NetConfig {
 #[derive(Debug)]
 pub struct Network {
     config: NetConfig,
-    ni_out: Vec<Resource>,
-    ni_in: Vec<Resource>,
-    sends_by_kind: [u64; 13],
-    total_sends: u64,
+    nis: Vec<NodeNi>,
 }
 
 impl Network {
@@ -80,17 +128,14 @@ impl Network {
         assert!(nodes > 0, "network needs at least one node");
         Network {
             config,
-            ni_out: (0..nodes).map(|_| Resource::new("ni-out")).collect(),
-            ni_in: (0..nodes).map(|_| Resource::new("ni-in")).collect(),
-            sends_by_kind: [0; 13],
-            total_sends: 0,
+            nis: (0..nodes).map(|_| NodeNi::new()).collect(),
         }
     }
 
     /// Number of nodes attached.
     #[must_use]
     pub fn nodes(&self) -> usize {
-        self.ni_out.len()
+        self.nis.len()
     }
 
     /// The configured timing parameters.
@@ -99,7 +144,116 @@ impl Network {
         self.config
     }
 
-    /// Sends one message, returning its delivery time at `to`.
+    /// A window spanning the whole network (the serial execution view).
+    #[must_use]
+    pub fn full_window(&mut self) -> NetWindow<'_> {
+        NetWindow {
+            config: self.config,
+            base: 0,
+            nis: &mut self.nis,
+        }
+    }
+
+    /// Splits the network into disjoint windows, one per node range.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ranges` are contiguous, ascending, and cover all
+    /// nodes exactly once.
+    #[must_use]
+    pub fn windows(&mut self, ranges: &[Range<usize>]) -> Vec<NetWindow<'_>> {
+        let config = self.config;
+        let mut out = Vec::with_capacity(ranges.len());
+        let mut rest: &mut [NodeNi] = &mut self.nis;
+        let mut at = 0usize;
+        for r in ranges {
+            assert_eq!(r.start, at, "ranges must tile the node space");
+            let (head, tail) = rest.split_at_mut(r.end - r.start);
+            out.push(NetWindow {
+                config,
+                base: r.start,
+                nis: head,
+            });
+            rest = tail;
+            at = r.end;
+        }
+        assert!(rest.is_empty(), "ranges must cover every node");
+        out
+    }
+
+    /// Sends one synchronous message, returning its delivery time at
+    /// `to`. See [`NetWindow::send`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` or either id is out of range.
+    pub fn send(&mut self, now: Cycles, from: NodeId, to: NodeId, kind: MsgKind) -> Cycles {
+        self.full_window().send(now, from, to, kind)
+    }
+
+    /// Posts one fire-and-forget message, returning its arrival time at
+    /// `to`'s memory controller. See [`NetWindow::post`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` or `from` is out of range.
+    pub fn post(&mut self, now: Cycles, from: NodeId, to: NodeId, kind: MsgKind) -> Cycles {
+        self.full_window().post(now, from, to, kind)
+    }
+
+    /// The uncontended one-way cost of a synchronous message of `kind`,
+    /// for latency budgeting (2 NI occupancies + fabric latency).
+    #[must_use]
+    pub fn uncontended(&self, kind: MsgKind) -> Cycles {
+        let occ = self.config.occupancy(kind.size_class());
+        occ + self.config.latency + occ
+    }
+
+    /// Messages sent so far, by kind (summed over all senders).
+    #[must_use]
+    pub fn sends_of(&self, kind: MsgKind) -> u64 {
+        self.nis
+            .iter()
+            .map(|ni| ni.sent_by_kind[kind.index()])
+            .sum()
+    }
+
+    /// Total messages sent.
+    #[must_use]
+    pub fn total_sends(&self) -> u64 {
+        self.nis.iter().map(NodeNi::total_sent).sum()
+    }
+
+    /// Total queueing delay imposed by all NIs (a contention measure).
+    #[must_use]
+    pub fn total_ni_wait(&self) -> Cycles {
+        self.nis.iter().map(NodeNi::wait).sum()
+    }
+}
+
+/// A mutable view of a contiguous node range's NI state.
+///
+/// Obtained from [`Network::full_window`] or [`Network::windows`]; all
+/// node ids are *absolute* machine node ids, and indexing a node outside
+/// the window panics — which is precisely the containment guarantee the
+/// sharded executor relies on.
+#[derive(Debug)]
+pub struct NetWindow<'a> {
+    config: NetConfig,
+    base: usize,
+    nis: &'a mut [NodeNi],
+}
+
+impl NetWindow<'_> {
+    fn ni_mut(&mut self, node: NodeId) -> &mut NodeNi {
+        let idx = (node.0 as usize)
+            .checked_sub(self.base)
+            .unwrap_or_else(|| panic!("node {node} below NI window base {}", self.base));
+        &mut self.nis[idx]
+    }
+
+    /// Sends one synchronous message, returning its delivery time at
+    /// `to`.
     ///
     /// The sender's outbound NI is occupied first (queueing behind other
     /// departures), the fabric adds its constant latency, and the
@@ -110,46 +264,39 @@ impl Network {
     /// # Panics
     ///
     /// Panics if `from == to` (nodes never message themselves) or either
-    /// id is out of range.
+    /// id is outside the window.
     pub fn send(&mut self, now: Cycles, from: NodeId, to: NodeId, kind: MsgKind) -> Cycles {
         assert_ne!(from, to, "loopback messages are a protocol bug");
         let occ = self.config.occupancy(kind.size_class());
-        let departed = self.ni_out[from.0 as usize].acquire(now, occ) + occ;
+        let departed = {
+            let src = self.ni_mut(from);
+            let t = src.out.acquire(now, occ) + occ;
+            src.sent_by_kind[kind.index()] += 1;
+            t
+        };
         let at_dest = departed + self.config.latency;
-        let delivered = self.ni_in[to.0 as usize].acquire(at_dest, occ) + occ;
-        self.sends_by_kind[kind.index()] += 1;
-        self.total_sends += 1;
-        delivered
+        self.ni_mut(to).inbound.acquire(at_dest, occ) + occ
     }
 
-    /// The uncontended one-way cost of a message of `kind`, for latency
-    /// budgeting (2 NI occupancies + fabric latency).
-    #[must_use]
-    pub fn uncontended(&self, kind: MsgKind) -> Cycles {
+    /// Posts one fire-and-forget message (an eviction write-back),
+    /// returning its arrival time at `to`.
+    ///
+    /// Posted messages occupy the sender's outbound NI and traverse the
+    /// fabric, but sink directly at the destination's memory controller
+    /// without occupying its inbound NI port and without any reply —
+    /// only sender-side state is touched, so `to` may lie outside the
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` or `from` is outside the window.
+    pub fn post(&mut self, now: Cycles, from: NodeId, to: NodeId, kind: MsgKind) -> Cycles {
+        assert_ne!(from, to, "loopback messages are a protocol bug");
         let occ = self.config.occupancy(kind.size_class());
-        occ + self.config.latency + occ
-    }
-
-    /// Messages sent so far, by kind.
-    #[must_use]
-    pub fn sends_of(&self, kind: MsgKind) -> u64 {
-        self.sends_by_kind[kind.index()]
-    }
-
-    /// Total messages sent.
-    #[must_use]
-    pub fn total_sends(&self) -> u64 {
-        self.total_sends
-    }
-
-    /// Total queueing delay imposed by all NIs (a contention measure).
-    #[must_use]
-    pub fn total_ni_wait(&self) -> Cycles {
-        self.ni_out
-            .iter()
-            .chain(self.ni_in.iter())
-            .map(Resource::total_wait)
-            .sum()
+        let src = self.ni_mut(from);
+        let departed = src.out.acquire(now, occ) + occ;
+        src.sent_by_kind[kind.index()] += 1;
+        departed + self.config.latency
     }
 }
 
@@ -226,5 +373,50 @@ mod tests {
     #[should_panic(expected = "loopback")]
     fn loopback_panics() {
         net().send(Cycles(0), NodeId(0), NodeId(0), MsgKind::GetShared);
+    }
+
+    #[test]
+    fn posted_message_skips_the_inbound_port() {
+        let mut n = net();
+        // A posted write-back arrives after out-NI + fabric only.
+        let t = n.post(Cycles(0), NodeId(0), NodeId(1), MsgKind::WriteBack);
+        assert_eq!(t, Cycles(8 + 100));
+        // It is still counted as a send...
+        assert_eq!(n.sends_of(MsgKind::WriteBack), 1);
+        // ...but leaves the receiver's in-NI untouched: a synchronous
+        // arrival right behind it sees an idle port.
+        let t2 = n.send(Cycles(0), NodeId(2), NodeId(1), MsgKind::GetShared);
+        assert_eq!(t2, Cycles(108));
+    }
+
+    #[test]
+    fn windows_split_state_and_keep_absolute_ids() {
+        let mut n = net();
+        n.send(Cycles(0), NodeId(6), NodeId(7), MsgKind::GetShared);
+        {
+            let mut ws = n.windows(&[0..4, 4..8]);
+            let t = ws[1].send(Cycles(0), NodeId(6), NodeId(7), MsgKind::GetShared);
+            assert_eq!(t, Cycles(112), "window shares the full network's NI state");
+            // A posted message may target a node outside the window.
+            let p = ws[1].post(Cycles(0), NodeId(4), NodeId(0), MsgKind::WriteBack);
+            assert_eq!(p, Cycles(108));
+        }
+        assert_eq!(n.total_sends(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "below NI window base")]
+    fn window_rejects_out_of_range_sender() {
+        let mut n = net();
+        let mut ws = n.windows(&[0..4, 4..8]);
+        let _ = ws[1].send(Cycles(0), NodeId(1), NodeId(5), MsgKind::GetShared);
+    }
+
+    #[test]
+    #[should_panic(expected = "ranges must cover")]
+    fn windows_must_tile_the_node_space() {
+        let mut n = net();
+        let half = 0..4;
+        let _ = n.windows(std::slice::from_ref(&half));
     }
 }

@@ -232,7 +232,7 @@ impl<T> Strategy for Union<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Inclusive-start, exclusive-end length specification for [`vec`].
+    /// Inclusive-start, exclusive-end length specification for [`vec()`].
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         start: usize,

@@ -3,7 +3,7 @@
 //! This crate provides the building blocks shared by every other crate in
 //! the workspace:
 //!
-//! * [`time`] — the [`Cycles`](time::Cycles) time base (400-MHz CPU cycles)
+//! * [`time`] — the [`Cycles`] time base (400-MHz CPU cycles)
 //!   and conversions to wall-clock units used by the paper (µs at 400 MHz).
 //! * [`resource`] — first-come-first-served occupancy servers used to model
 //!   contention at shared hardware resources (memory buses, network
@@ -44,4 +44,4 @@ pub mod time;
 pub use resource::Resource;
 pub use rng::DetRng;
 pub use stats::{Cdf, Counter, Histogram};
-pub use time::Cycles;
+pub use time::{Cycles, Epoch, EpochClock};

@@ -167,6 +167,62 @@ impl From<Cycles> for u64 {
     }
 }
 
+/// An execution-epoch number in the sharded deterministic executor.
+///
+/// Epochs are *logical* time, orthogonal to [`Cycles`]: the sharded
+/// machine partitions a reference trace into contained execution windows
+/// and numbers them consecutively. Cross-shard effects buffered during
+/// epoch `e` are applied at the barrier that ends `e`, ordered by the
+/// canonical `(epoch, home node, sequence)` key, before epoch `e + 1`
+/// begins. Keeping the number a distinct type stops it from being mixed
+/// up with cycle counts or trace sequence numbers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Epoch(pub u64);
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "epoch {}", self.0)
+    }
+}
+
+/// The epoch counter a deterministic sharded run advances at each
+/// barrier.
+///
+/// # Example
+///
+/// ```
+/// use rnuma_sim::time::{Epoch, EpochClock};
+///
+/// let mut clock = EpochClock::new();
+/// assert_eq!(clock.current(), Epoch(0));
+/// assert_eq!(clock.advance(), Epoch(1));
+/// assert_eq!(clock.current(), Epoch(1));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochClock {
+    current: Epoch,
+}
+
+impl EpochClock {
+    /// A clock at epoch 0 (the first execution window).
+    #[must_use]
+    pub fn new() -> EpochClock {
+        EpochClock::default()
+    }
+
+    /// The epoch currently executing.
+    #[must_use]
+    pub fn current(&self) -> Epoch {
+        self.current
+    }
+
+    /// Ends the current epoch at a barrier and returns the next one.
+    pub fn advance(&mut self) -> Epoch {
+        self.current.0 += 1;
+        self.current
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,57 @@
+//! `RNUMA_SHARDS` plumbing: the environment variable routes every batch
+//! driver job (`run_parallel`, and therefore `rnuma_bench::run_grid`)
+//! through the self-checking sharded path.
+//!
+//! These tests mutate the process environment, so they live in their own
+//! integration-test binary (their own process) and run serially.
+
+use rnuma::config::{MachineConfig, Protocol};
+use rnuma::experiment::{run, run_env_sharded, run_parallel};
+use rnuma::shard::shards_from_env;
+use rnuma_workloads::{by_name, Scale};
+
+fn with_env<R>(value: Option<&str>, body: impl FnOnce() -> R) -> R {
+    match value {
+        Some(v) => std::env::set_var("RNUMA_SHARDS", v),
+        None => std::env::remove_var("RNUMA_SHARDS"),
+    }
+    let out = body();
+    std::env::remove_var("RNUMA_SHARDS");
+    out
+}
+
+/// The tests share one process, so environment mutation must be
+/// serialized: one test owns all the scenarios.
+#[test]
+fn rnuma_shards_routing() {
+    let config = MachineConfig::paper_base(Protocol::paper_rnuma());
+    let baseline = run(config, &mut by_name("em3d", Scale::Tiny).unwrap());
+
+    // Unset: no sharding requested.
+    with_env(None, || assert_eq!(shards_from_env(), None));
+
+    // RNUMA_SHARDS=1 is, by regression contract, the existing
+    // single-threaded path: run_env_sharded must not enter the checked
+    // sharded mode, and the report is the plain serial one.
+    with_env(Some("1"), || {
+        assert_eq!(shards_from_env(), Some(1));
+        let r = run_env_sharded(config, &mut by_name("em3d", Scale::Tiny).unwrap());
+        assert!(baseline.metrics.replay_eq(&r.metrics));
+    });
+
+    // RNUMA_SHARDS>1: every job self-checks sharded-vs-serial (a panic
+    // here would mean the executor diverged) and still reports the
+    // serial metrics bit-for-bit.
+    with_env(Some("4"), || {
+        assert_eq!(shards_from_env(), Some(4));
+        let reports = run_parallel(&[0u8, 1u8], |_| {
+            (config, by_name("em3d", Scale::Tiny).unwrap())
+        });
+        for r in &reports {
+            assert!(baseline.metrics.replay_eq(&r.metrics));
+        }
+    });
+
+    // Nonsense values mean "no sharding", not a crash.
+    with_env(Some("banana"), || assert_eq!(shards_from_env(), None));
+}
