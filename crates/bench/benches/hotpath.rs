@@ -57,7 +57,7 @@ fn main() {
             );
         } else if cores < 4 {
             println!(
-                "sharded acceptance: SKIPPED ({cores} cores < 4; measured {:.2}x)",
+                "sharded acceptance: SKIPPED ({cores} cores < 4; inline fallback measured {:.2}x)",
                 lane.speedup()
             );
         } else {

@@ -1,0 +1,68 @@
+//! Bench lane for the trace-once/replay-many sweep driver.
+//!
+//! Measures a real multi-application, multi-configuration sweep three
+//! ways — through the shared `TraceStore` driver, with per-cell
+//! capture, and as plain execution-driven runs — and records the
+//! amortization in `results/BENCH_sweep.json`.
+//!
+//! Run with: `cargo bench -p rnuma-bench --bench sweep`
+
+use rnuma::config::{MachineConfig, Protocol};
+use rnuma_bench::sweep;
+use rnuma_workloads::Scale;
+
+fn main() {
+    // The Figure-6 protocol axis (capture on the ideal baseline,
+    // amortized across four configurations) on two contrasting apps:
+    // em3d (refetch-heavy) and moldyn (compute-heavy).
+    let apps = ["em3d", "moldyn"];
+    let configs = [
+        MachineConfig::paper_base(Protocol::ideal()),
+        MachineConfig::paper_base(Protocol::paper_ccnuma()),
+        MachineConfig::paper_base(Protocol::paper_scoma()),
+        MachineConfig::paper_base(Protocol::paper_rnuma()),
+    ];
+    let lane = sweep::measure(&apps, &configs, Scale::Tiny);
+
+    println!(
+        "sweep lane: {} apps x {} configs ({} cells), capture on the ideal baseline",
+        lane.apps.len(),
+        lane.configs,
+        lane.apps.len() * lane.configs
+    );
+    println!(
+        "  trace store: {} ops captured, {} stored ({:.2}x interning)",
+        lane.captured_ops,
+        lane.stored_ops,
+        lane.interning_ratio()
+    );
+    println!(
+        "  trace-once sweep   {:>8.1} ms/pass",
+        lane.sweep_secs * 1e3
+    );
+    println!(
+        "  per-cell capture   {:>8.1} ms/pass ({:.2}x slower)",
+        lane.percell_secs * 1e3,
+        lane.speedup_vs_percell_capture()
+    );
+    println!(
+        "  direct runs        {:>8.1} ms/pass ({:.2}x slower)",
+        lane.direct_secs * 1e3,
+        lane.speedup_vs_direct()
+    );
+
+    let target = 1.3;
+    if lane.speedup_vs_percell_capture() >= target {
+        println!(
+            "sweep acceptance: PASS ({:.2}x >= {target}x over per-cell capture)",
+            lane.speedup_vs_percell_capture()
+        );
+    } else {
+        println!(
+            "sweep acceptance: BELOW TARGET ({:.2}x < {target}x) — check host load",
+            lane.speedup_vs_percell_capture()
+        );
+    }
+
+    lane.emit();
+}

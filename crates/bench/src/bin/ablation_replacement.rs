@@ -5,9 +5,14 @@
 //! this paper", Section 4). This experiment fills that gap: S-COMA and
 //! R-NUMA execution times under LRM, FIFO, and Random victim
 //! selection, normalized per application to LRM.
+//!
+//! Runs through the trace-once/replay-many sweep driver: each
+//! application's reference stream is captured once on the first
+//! configuration of the grid and replayed against the rest
+//! (`docs/SWEEP.md`).
 
 use rnuma::config::{MachineConfig, Protocol};
-use rnuma_bench::{apps, parse_scale, run_grid, save, TextTable};
+use rnuma_bench::{apps, parse_scale, save, sweep_grid, TextTable};
 use rnuma_mem::page_cache::ReplacementPolicy;
 
 const POLICIES: [(&str, ReplacementPolicy); 3] = [
@@ -37,7 +42,7 @@ fn main() {
             })
         })
         .collect();
-    let grid = run_grid(apps(), &configs, scale);
+    let grid = sweep_grid(apps(), &configs, scale);
 
     let mut out = String::new();
     let mut csv = String::from("app,protocol,policy,cycles\n");

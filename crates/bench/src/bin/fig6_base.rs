@@ -5,9 +5,14 @@
 //! the ideal CC-NUMA with an infinite block cache. All 40
 //! `(application, protocol)` simulations run in parallel across the
 //! host's cores.
+//!
+//! Runs through the trace-once/replay-many sweep driver: each
+//! application's reference stream is captured once on the ideal
+//! baseline and replayed against the three finite protocols
+//! (`docs/SWEEP.md`).
 
 use rnuma::config::Protocol;
-use rnuma_bench::{apps, bar, parse_scale, run_protocol_grid, save, TextTable};
+use rnuma_bench::{apps, bar, parse_scale, save, sweep_protocol_grid, TextTable};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -19,7 +24,7 @@ fn main() {
         Protocol::paper_scoma(),
         Protocol::paper_rnuma(),
     ];
-    let grid = run_protocol_grid(apps(), &protocols, scale);
+    let grid = sweep_protocol_grid(apps(), &protocols, scale);
 
     let mut t = TextTable::new("application   CC-NUMA   S-COMA   R-NUMA   (normalized to ideal)");
     let mut csv = String::from("app,ccnuma,scoma,rnuma\n");

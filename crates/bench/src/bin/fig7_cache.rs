@@ -3,9 +3,14 @@
 //! CC-NUMA with 1-KB and 32-KB block caches; R-NUMA with (128 B,
 //! 320 KB), (32 KB, 320 KB), and (128 B, 40 MB) block/page caches;
 //! all normalized to the ideal infinite-block-cache machine.
+//!
+//! Runs through the trace-once/replay-many sweep driver: each
+//! application's reference stream is captured once on the first
+//! configuration of the grid and replayed against the rest
+//! (`docs/SWEEP.md`).
 
 use rnuma::config::Protocol;
-use rnuma_bench::{apps, parse_scale, run_protocol_grid, save, TextTable};
+use rnuma_bench::{apps, parse_scale, save, sweep_protocol_grid, TextTable};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -41,7 +46,7 @@ fn main() {
     // One parallel batch: ideal baseline first, then the five variants.
     let mut protocols = vec![Protocol::ideal()];
     protocols.extend(configs.iter().map(|&(_, p)| p));
-    let grid = run_protocol_grid(apps(), &protocols, scale);
+    let grid = sweep_protocol_grid(apps(), &protocols, scale);
 
     let mut t =
         TextTable::new("application   CC b=1K   CC b=32K   RN 128/320K   RN 32K/320K   RN 128/40M");

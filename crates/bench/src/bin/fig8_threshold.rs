@@ -2,9 +2,14 @@
 //!
 //! R-NUMA (128-B block cache, 320-KB page cache) at T ∈ {16, 64, 256,
 //! 1024}, normalized to T = 64 per application.
+//!
+//! Runs through the trace-once/replay-many sweep driver: each
+//! application's reference stream is captured once on the first
+//! configuration of the grid and replayed against the rest
+//! (`docs/SWEEP.md`).
 
 use rnuma::config::Protocol;
-use rnuma_bench::{apps, parse_scale, run_protocol_grid, save, TextTable};
+use rnuma_bench::{apps, parse_scale, save, sweep_protocol_grid, TextTable};
 
 const THRESHOLDS: [u32; 4] = [16, 64, 256, 1024];
 
@@ -20,7 +25,7 @@ fn main() {
             threshold,
         })
         .collect();
-    let grid = run_protocol_grid(apps(), &protocols, scale);
+    let grid = sweep_protocol_grid(apps(), &protocols, scale);
 
     let mut t =
         TextTable::new("application     T=16     T=64    T=256   T=1024   (normalized to T=64)");

@@ -5,9 +5,14 @@
 //! invalidation; the SOFT systems assume 10 µs and 5 µs (software
 //! shootdowns via inter-processor interrupts), roughly tripling the
 //! per-page overhead. All normalized to the ideal CC-NUMA.
+//!
+//! Runs through the trace-once/replay-many sweep driver: each
+//! application's reference stream is captured once on the first
+//! configuration of the grid and replayed against the rest
+//! (`docs/SWEEP.md`).
 
 use rnuma::config::{MachineConfig, Protocol};
-use rnuma_bench::{apps, parse_scale, run_grid, save, TextTable};
+use rnuma_bench::{apps, parse_scale, save, sweep_grid, TextTable};
 use rnuma_os::CostModel;
 
 fn main() {
@@ -27,7 +32,7 @@ fn main() {
         MachineConfig::paper_base(Protocol::paper_rnuma()),
         soft(Protocol::paper_rnuma()),
     ];
-    let grid = run_grid(apps(), &configs, scale);
+    let grid = sweep_grid(apps(), &configs, scale);
 
     let mut t = TextTable::new(
         "application   S-COMA   S-COMA-SOFT   R-NUMA   R-NUMA-SOFT   (normalized to ideal)",

@@ -236,8 +236,11 @@ fn time_replays(refs: usize, mut replay: impl FnMut()) -> f64 {
 }
 
 /// Measures the sharded lane on `protocol`: replays the same
-/// partitioned trace serially and through a [`ShardedMachine`],
-/// verifying bit-identical metrics while timing both.
+/// partitioned trace serially and through a [`ShardedMachine`] on the
+/// shared worker pool, verifying bit-identical metrics while timing
+/// both. On a single-core host the shared pool has no workers, so the
+/// lane measures the executor's inline fallback (~1.0x serial) rather
+/// than thread-handoff cost.
 ///
 /// # Panics
 ///

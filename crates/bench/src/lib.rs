@@ -23,12 +23,15 @@
 #![warn(missing_docs)]
 
 use rnuma::config::{MachineConfig, Protocol};
-use rnuma::experiment::{run, run_parallel, RunReport};
+use rnuma::experiment::{
+    parallel_map, run, run_parallel, run_replayed, run_traced_env_checked, RunReport, TraceStore,
+};
 use rnuma_workloads::{by_name, Scale, APP_NAMES};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
 pub mod hotpath;
+pub mod sweep;
 
 /// Parses `--scale` from argv; defaults to the paper's inputs.
 ///
@@ -160,6 +163,107 @@ pub fn run_grid(
         rows.push(it.by_ref().take(configs.len()).collect());
     }
     rows
+}
+
+/// [`run_grid`], the trace-once/replay-many way: each application's
+/// operation stream is captured **once**, on `configs[0]` (the
+/// baseline — conventionally the ideal machine), interned into a
+/// shared [`TraceStore`], and replayed against every other
+/// configuration. Captures fan out over the host's cores first, then
+/// all replay cells do; `RNUMA_JOBS` overrides the worker count and
+/// `RNUMA_SHARDS` adds the per-cell pool-backed sharded self-check.
+///
+/// Returns the same row shape as [`run_grid`]. The difference in
+/// *meaning*: every cell of a row simulates the **same** reference
+/// stream (the fixed-trace methodology), and each cell is bit-identical
+/// to a serial `Machine::replay` of that stream on its configuration —
+/// enforced across the whole figure grid by
+/// `tests/replay_determinism.rs`. See `docs/SWEEP.md`.
+///
+/// # Example
+///
+/// ```
+/// use rnuma::config::{MachineConfig, Protocol};
+/// use rnuma_bench::sweep_grid;
+/// use rnuma_workloads::Scale;
+///
+/// let configs = [
+///     MachineConfig::paper_base(Protocol::ideal()),
+///     MachineConfig::paper_base(Protocol::paper_rnuma()),
+/// ];
+/// let rows = sweep_grid(&["em3d"], &configs, Scale::Tiny);
+/// assert_eq!(rows.len(), 1);
+/// assert_eq!(rows[0].len(), 2);
+/// // Both cells replay the same captured stream.
+/// assert_eq!(
+///     rows[0][0].metrics.references(),
+///     rows[0][1].metrics.references(),
+/// );
+/// ```
+///
+/// # Panics
+///
+/// Panics if `configs` is empty, any `app` is not a Table-3
+/// application, or a self-checking sharded replay diverges.
+#[must_use]
+pub fn sweep_grid(
+    apps: &[&'static str],
+    configs: &[MachineConfig],
+    scale: Scale,
+) -> Vec<Vec<RunReport>> {
+    assert!(
+        !configs.is_empty(),
+        "need at least a baseline configuration"
+    );
+    // Phase 1+2: capture every application's stream on the baseline
+    // and intern it into one shared store. Captures run in worker-sized
+    // batches so at most one batch of raw (uncompressed) traces is ever
+    // resident — the arena they are interned into exists precisely to
+    // avoid holding every stream verbatim.
+    let mut store = TraceStore::new();
+    let mut ids = Vec::with_capacity(apps.len());
+    let mut rows: Vec<Vec<RunReport>> = Vec::with_capacity(apps.len());
+    let batch = rnuma::experiment::parallel_workers(apps.len());
+    for chunk in apps.chunks(batch) {
+        let captures = parallel_map(chunk, |&app| {
+            let mut w = by_name(app, scale).unwrap_or_else(|| panic!("unknown app {app}"));
+            run_traced_env_checked(configs[0], &mut w)
+        });
+        for (report, trace) in captures {
+            ids.push(store.insert(report.workload, configs[0], &trace));
+            let mut row = Vec::with_capacity(configs.len());
+            row.push(report);
+            rows.push(row);
+        }
+    }
+    // Phase 3: replay every remaining (application, configuration) cell.
+    let cells: Vec<(usize, usize)> = (0..apps.len())
+        .flat_map(|a| (1..configs.len()).map(move |c| (a, c)))
+        .collect();
+    let replays = parallel_map(&cells, |&(a, c)| run_replayed(&store, ids[a], configs[c]));
+    for (&(a, _), report) in cells.iter().zip(replays) {
+        rows[a].push(report);
+    }
+    rows
+}
+
+/// [`sweep_grid`] over protocols on the paper's base machine — what the
+/// figure binaries call.
+///
+/// # Panics
+///
+/// As [`sweep_grid`].
+#[must_use]
+pub fn sweep_protocol_grid(
+    apps: &[&'static str],
+    protocols: &[Protocol],
+    scale: Scale,
+) -> Vec<Vec<RunReport>> {
+    let configs: Vec<MachineConfig> = protocols
+        .iter()
+        .map(|&p| MachineConfig::paper_base(p))
+        .collect();
+    sweep_grid(apps, &configs, scale)
 }
 
 /// [`run_grid`] over protocols on the paper's base machine.

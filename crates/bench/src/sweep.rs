@@ -1,0 +1,230 @@
+//! Sweep-throughput measurement and the `BENCH_sweep.json` emitter.
+//!
+//! The trace-once/replay-many driver exists to amortize trace capture
+//! across a configuration sweep (see `docs/SWEEP.md`). This lane
+//! measures exactly that amortization on real application kernels:
+//!
+//! * **sweep** — the driver itself: capture each application's stream
+//!   once on the baseline configuration, intern it, replay it on every
+//!   other configuration;
+//! * **per-cell capture** — the same replay infrastructure *without*
+//!   the shared store: every cell captures its own trace and replays
+//!   it (what `RNUMA_SHARDS`-style self-checking cells cost, and what
+//!   a sweep without the store would pay);
+//! * **direct** — plain execution-driven `run` per cell, for reference
+//!   (it pays workload generation per cell but never materializes a
+//!   trace).
+//!
+//! Results land in `results/BENCH_sweep.json` so subsequent PRs have a
+//! sweep-throughput trajectory; the acceptance gate is the
+//! sweep-vs-per-cell-capture speedup.
+
+use rnuma::config::MachineConfig;
+use rnuma::experiment::{run, run_replayed, run_traced, TraceStore};
+use rnuma::Machine;
+use rnuma_workloads::{by_name, Scale};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Everything `BENCH_sweep.json` records.
+#[derive(Clone, Debug)]
+pub struct SweepLane {
+    /// Applications measured.
+    pub apps: Vec<&'static str>,
+    /// Configurations per application (capture amortized across these).
+    pub configs: usize,
+    /// Total operations captured per sweep pass (before interning).
+    pub captured_ops: u64,
+    /// Operations resident in the interned arena per sweep pass.
+    pub stored_ops: u64,
+    /// Seconds per full sweep through the trace-once driver.
+    pub sweep_secs: f64,
+    /// Seconds per full sweep with per-cell capture + replay.
+    pub percell_secs: f64,
+    /// Seconds per full sweep of plain execution-driven runs.
+    pub direct_secs: f64,
+}
+
+impl SweepLane {
+    /// End-to-end sweep speedup over per-cell capture — the gate.
+    #[must_use]
+    pub fn speedup_vs_percell_capture(&self) -> f64 {
+        self.percell_secs / self.sweep_secs
+    }
+
+    /// Sweep speedup over plain per-cell execution-driven runs.
+    #[must_use]
+    pub fn speedup_vs_direct(&self) -> f64 {
+        self.direct_secs / self.sweep_secs
+    }
+
+    /// Capture-stream compression from segment interning (1.0 = none).
+    #[must_use]
+    pub fn interning_ratio(&self) -> f64 {
+        if self.stored_ops == 0 {
+            1.0
+        } else {
+            self.captured_ops as f64 / self.stored_ops as f64
+        }
+    }
+
+    /// Renders the report as JSON (hand-rolled: the workspace carries no
+    /// serialization dependency).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let apps: Vec<String> = self.apps.iter().map(|a| format!("\"{a}\"")).collect();
+        let _ = writeln!(s, "  \"apps\": [{}],", apps.join(", "));
+        let _ = writeln!(s, "  \"configs\": {},", self.configs);
+        let _ = writeln!(s, "  \"cells\": {},", self.apps.len() * self.configs);
+        let _ = writeln!(s, "  \"captured_ops\": {},", self.captured_ops);
+        let _ = writeln!(s, "  \"stored_ops\": {},", self.stored_ops);
+        let _ = writeln!(s, "  \"interning_ratio\": {:.3},", self.interning_ratio());
+        let _ = writeln!(s, "  \"sweep_secs\": {:.4},", self.sweep_secs);
+        let _ = writeln!(s, "  \"percell_capture_secs\": {:.4},", self.percell_secs);
+        let _ = writeln!(s, "  \"direct_run_secs\": {:.4},", self.direct_secs);
+        let _ = writeln!(
+            s,
+            "  \"speedup_vs_percell_capture\": {:.2},",
+            self.speedup_vs_percell_capture()
+        );
+        let _ = writeln!(
+            s,
+            "  \"speedup_vs_direct_run\": {:.2}",
+            self.speedup_vs_direct()
+        );
+        s.push('}');
+        s
+    }
+
+    /// Writes `results/BENCH_sweep.json` (creating the directory) and
+    /// echoes the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors.
+    pub fn emit(&self) {
+        crate::save("BENCH_sweep.json", &self.to_json());
+    }
+}
+
+/// Times `pass` (a full sweep in one of the three modes) until at least
+/// ~0.2 s of work has accumulated, returning seconds per pass.
+fn time_passes(mut pass: impl FnMut()) -> f64 {
+    let mut passes = 0u32;
+    let mut total = 0.0f64;
+    while total < 0.2 {
+        let t0 = Instant::now();
+        pass();
+        total += t0.elapsed().as_secs_f64();
+        passes += 1;
+    }
+    total / f64::from(passes)
+}
+
+/// One sweep pass through the trace-once/replay-many driver. Returns
+/// the store's interning statistics.
+fn sweep_pass(apps: &[&'static str], configs: &[MachineConfig], scale: Scale) -> (u64, u64) {
+    let mut store = TraceStore::new();
+    let mut sink = 0u64;
+    for &app in apps {
+        let mut w = by_name(app, scale).unwrap_or_else(|| panic!("unknown app {app}"));
+        let (id, report) = store.capture(configs[0], &mut w);
+        sink ^= report.cycles();
+        for &config in &configs[1..] {
+            sink ^= run_replayed(&store, id, config).cycles();
+        }
+    }
+    std::hint::black_box(sink);
+    (store.captured_ops(), store.stored_ops())
+}
+
+/// One sweep pass with per-cell capture: every cell records its own
+/// trace and replays it on a fresh machine.
+fn percell_pass(apps: &[&'static str], configs: &[MachineConfig], scale: Scale) {
+    let mut sink = 0u64;
+    for &app in apps {
+        for &config in configs {
+            let mut w = by_name(app, scale).unwrap_or_else(|| panic!("unknown app {app}"));
+            let (report, trace) = run_traced(config, &mut w);
+            let mut machine = Machine::new(config).expect("valid config");
+            machine.replay(&trace);
+            assert!(report.metrics.replay_eq(&machine.metrics()));
+            sink ^= report.cycles();
+        }
+    }
+    std::hint::black_box(sink);
+}
+
+/// One sweep pass of plain execution-driven runs.
+fn direct_pass(apps: &[&'static str], configs: &[MachineConfig], scale: Scale) {
+    let mut sink = 0u64;
+    for &app in apps {
+        for &config in configs {
+            let mut w = by_name(app, scale).unwrap_or_else(|| panic!("unknown app {app}"));
+            sink ^= run(config, &mut w).cycles();
+        }
+    }
+    std::hint::black_box(sink);
+}
+
+/// Measures the three sweep modes on `apps` × `configs` at `scale`.
+///
+/// # Panics
+///
+/// Panics if an app is unknown or a configuration is invalid.
+#[must_use]
+pub fn measure(apps: &[&'static str], configs: &[MachineConfig], scale: Scale) -> SweepLane {
+    // One warm-up-and-stats pass outside the timers.
+    let (captured_ops, stored_ops) = sweep_pass(apps, configs, scale);
+    let sweep_secs = time_passes(|| {
+        let _ = sweep_pass(apps, configs, scale);
+    });
+    let percell_secs = time_passes(|| percell_pass(apps, configs, scale));
+    let direct_secs = time_passes(|| direct_pass(apps, configs, scale));
+    SweepLane {
+        apps: apps.to_vec(),
+        configs: configs.len(),
+        captured_ops,
+        stored_ops,
+        sweep_secs,
+        percell_secs,
+        direct_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnuma::config::Protocol;
+
+    #[test]
+    fn json_shape_is_sane() {
+        let lane = SweepLane {
+            apps: vec!["em3d", "moldyn"],
+            configs: 4,
+            captured_ops: 1000,
+            stored_ops: 800,
+            sweep_secs: 1.0,
+            percell_secs: 2.0,
+            direct_secs: 1.5,
+        };
+        let json = lane.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"cells\": 8"));
+        assert!(json.contains("\"speedup_vs_percell_capture\": 2.00"));
+        assert!(json.contains("\"speedup_vs_direct_run\": 1.50"));
+        assert!((lane.interning_ratio() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_pass_produces_trace_stats() {
+        let configs = [
+            MachineConfig::paper_base(Protocol::ideal()),
+            MachineConfig::paper_base(Protocol::paper_rnuma()),
+        ];
+        let (captured, stored) = sweep_pass(&["em3d"], &configs, Scale::Tiny);
+        assert!(captured > 0);
+        assert!(stored > 0 && stored <= captured);
+    }
+}

@@ -1,4 +1,5 @@
-//! One-call experiment execution.
+//! One-call experiment execution and the trace-once/replay-many sweep
+//! driver.
 //!
 //! The paper's figures all follow the same recipe: run an application on
 //! several machine configurations and report execution times normalized
@@ -16,12 +17,29 @@
 //! execution ([`run_normalized_serial`] exists as the reference
 //! implementation, and the workspace determinism tests compare the
 //! two).
+//!
+//! # Trace-once, replay many
+//!
+//! A parameter sweep runs the *same* application against every
+//! configuration in a grid. Re-executing the workload per cell re-pays
+//! its generation cost (item scheduling, address arithmetic, setup
+//! RNG) once per configuration; the sweep driver instead captures the
+//! workload's [`TraceOp`] stream **once** — into a [`TraceStore`], an
+//! arena-backed, segment-interned store — and replays it against every
+//! other configuration ([`run_replayed`] per cell, [`run_sweep`] for a
+//! whole config axis). Replay is bit-identical to a serial
+//! [`Machine::replay`] of the same stream in every execution mode
+//! (`RNUMA_SHARDS` turns each cell into a pool-backed self-check), and
+//! the sweep's reference stream is *fixed across cells* — the classic
+//! trace-driven methodology. See `docs/SWEEP.md` for the model and its
+//! guarantees.
 
 use crate::config::MachineConfig;
 use crate::machine::Machine;
 use crate::metrics::Metrics;
 use crate::program::{Runner, Workload};
-use crate::shard::{shards_from_env, ShardedMachine, TraceOp};
+use crate::shard::{shards_from_env, ShardPool, ShardedMachine, TraceOp};
+use rnuma_mem::fxmap::FxMap64;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -117,17 +135,7 @@ pub fn run_sharded_checked<W: Workload + ?Sized>(
     shards: usize,
 ) -> RunReport {
     let (report, trace) = run_traced(config, workload);
-    let mut sharded = ShardedMachine::new(config, shards).expect("config validated above");
-    sharded.run_trace(&trace);
-    assert!(
-        report.metrics.replay_eq(&sharded.metrics()),
-        "sharded replay ({shards} shards) diverged from serial for {} on {}:\n\
-         serial:  {}\nsharded: {}",
-        report.workload,
-        report.protocol,
-        report.metrics,
-        sharded.metrics()
-    );
+    check_sharded_replay(&report, std::iter::once(trace.as_slice()), config, shards);
     report
 }
 
@@ -200,50 +208,77 @@ where
     W: Workload,
     F: Fn(&J) -> (MachineConfig, W) + Sync,
 {
+    parallel_map(jobs, |j| {
+        let (config, mut w) = make(j);
+        run_env_sharded(config, &mut w)
+    })
+}
+
+/// Applies `f` to every job, fanned out over the host's cores, and
+/// returns the results in job order.
+///
+/// This is the worker-pool primitive behind [`run_parallel`] and the
+/// sweep drivers: jobs are claimed from a shared cursor, each `f`
+/// invocation runs entirely on one worker thread, and `RNUMA_JOBS`
+/// overrides the worker count (1 forces serial execution). `f` must be
+/// order-independent — a pure function of its job — which every
+/// simulation in this workspace is.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map<J, T, F>(jobs: &[J], f: F) -> Vec<T>
+where
+    J: Sync,
+    T: Send,
+    F: Fn(&J) -> T + Sync,
+{
     let n = jobs.len();
-    let workers = std::env::var("RNUMA_JOBS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
-        .clamp(1, n.max(1));
+    let workers = parallel_workers(n);
     if n <= 1 || workers == 1 {
-        return jobs
-            .iter()
-            .map(|j| {
-                let (config, mut w) = make(j);
-                run_env_sharded(config, &mut w)
-            })
-            .collect();
+        return jobs.iter().map(f).collect();
     }
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, RunReport)>();
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
     std::thread::scope(|s| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
-            let make = &make;
+            let f = &f;
             s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let (config, mut w) = make(&jobs[i]);
-                let report = run_env_sharded(config, &mut w);
-                if tx.send((i, report)).is_err() {
+                if tx.send((i, f(&jobs[i]))).is_err() {
                     break;
                 }
             });
         }
     });
     drop(tx);
-    let mut results: Vec<Option<RunReport>> = (0..n).map(|_| None).collect();
-    for (i, report) in rx {
-        results[i] = Some(report);
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, out) in rx {
+        results[i] = Some(out);
     }
     results
         .into_iter()
         .map(|r| r.expect("worker pool covered every job"))
         .collect()
+}
+
+/// The worker count [`parallel_map`] would use for `jobs` jobs:
+/// `RNUMA_JOBS` when set, otherwise the host's available parallelism,
+/// clamped to the job count. Batch drivers that want to bound
+/// in-flight memory (e.g. raw traces awaiting interning) size their
+/// batches with this.
+#[must_use]
+pub fn parallel_workers(jobs: usize) -> usize {
+    std::env::var("RNUMA_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+        .clamp(1, jobs.max(1))
 }
 
 /// Runs `workload` on each configuration — in parallel across
@@ -294,6 +329,419 @@ where
         .map(|&config| run(config, &mut make_workload()))
         .collect();
     normalize_to_first(reports)
+}
+
+/// [`run_traced`], plus the `RNUMA_SHARDS` self-check: when the
+/// environment requests more than one shard, the captured stream is
+/// replayed on the pool-backed sharded executor and checked
+/// bit-identical against the capture run before returning. Batch sweep
+/// drivers use this to capture in parallel and intern serially.
+///
+/// # Panics
+///
+/// Panics if `config` fails validation, or if the sharded replay
+/// diverges (an executor bug).
+pub fn run_traced_env_checked<W: Workload + ?Sized>(
+    config: MachineConfig,
+    workload: &mut W,
+) -> (RunReport, Vec<TraceOp>) {
+    let (report, trace) = run_traced(config, workload);
+    if let Some(shards) = shards_from_env().filter(|&s| s > 1) {
+        check_sharded_replay(&report, std::iter::once(trace.as_slice()), config, shards);
+    }
+    (report, trace)
+}
+
+/// Handle of one captured trace inside a [`TraceStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceId(u32);
+
+/// One captured stream: its workload, the configuration it was captured
+/// under, and its segment list into the shared arena.
+#[derive(Debug)]
+struct TraceRec {
+    workload: &'static str,
+    config: MachineConfig,
+    segs: Vec<u32>,
+    ops: u64,
+}
+
+/// Ops per arena segment: long enough that segment dispatch is noise,
+/// short enough that periodic workloads (whose steady-state streams
+/// repeat) actually produce duplicate segments to intern.
+const SEG_OPS: usize = 4096;
+
+/// An arena-backed, segment-interned store of captured [`TraceOp`]
+/// streams — the "capture once" half of trace-once/replay-many sweeps.
+///
+/// All captured streams share one arena of fixed-size segments. With
+/// interning on (the default), a segment whose contents already exist
+/// in the arena is stored once and referenced twice — periodic
+/// workloads (iterative solvers re-issuing identical per-iteration
+/// streams) compress substantially, and identical workloads captured
+/// twice cost one copy. Replay iterates a stream's segments in order
+/// ([`TraceStore::segments`]); [`Machine::replay_segments`] and
+/// [`ShardedMachine::run_segments`] both accept that form directly.
+///
+/// # Example
+///
+/// ```
+/// use rnuma::config::{MachineConfig, Protocol};
+/// use rnuma::experiment::TraceStore;
+/// use rnuma::program::{Runner, Workload};
+///
+/// struct Touch;
+/// impl Workload for Touch {
+///     fn name(&self) -> &'static str { "touch" }
+///     fn run(&mut self, r: &mut Runner<'_>) {
+///         let data = r.alloc(4096);
+///         let items = r.block_partition(64);
+///         r.parallel(&items, |ctx, _cpu, i| ctx.read(data.word(i)));
+///     }
+/// }
+///
+/// let mut store = TraceStore::new();
+/// let base = MachineConfig::paper_base(Protocol::ideal());
+/// let (id, report) = store.capture(base, &mut Touch);
+/// // Replaying the captured stream on the capture configuration
+/// // reproduces the capture run bit-for-bit...
+/// let again = store.replay_serial(id, base);
+/// assert!(report.metrics.replay_eq(&again.metrics));
+/// // ...and the same stream replays against any other configuration.
+/// let rnuma = store.replay_serial(id, MachineConfig::paper_base(Protocol::paper_rnuma()));
+/// assert_eq!(rnuma.metrics.references(), report.metrics.references());
+/// ```
+#[derive(Debug)]
+pub struct TraceStore {
+    /// All segment payloads, concatenated.
+    arena: Vec<TraceOp>,
+    /// Segment id → `(start, len)` into the arena.
+    segs: Vec<(u32, u32)>,
+    /// Content hash → first segment id with that hash (interning).
+    dedup: FxMap64<u32>,
+    traces: Vec<TraceRec>,
+    interning: bool,
+    /// Total ops captured, before interning.
+    captured_ops: u64,
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        TraceStore::new()
+    }
+}
+
+impl TraceStore {
+    /// An empty store with segment interning enabled.
+    #[must_use]
+    pub fn new() -> TraceStore {
+        TraceStore {
+            arena: Vec::new(),
+            segs: Vec::new(),
+            dedup: FxMap64::new(),
+            traces: Vec::new(),
+            interning: true,
+            captured_ops: 0,
+        }
+    }
+
+    /// An empty store that keeps every segment verbatim (no interning).
+    /// Replay results are identical either way; this exists for
+    /// benchmarking the interning itself and for debugging.
+    #[must_use]
+    pub fn raw() -> TraceStore {
+        TraceStore {
+            interning: false,
+            ..TraceStore::new()
+        }
+    }
+
+    /// Runs `workload` on `config` — exactly like [`run`] — while
+    /// recording its operation stream into the store. Returns the
+    /// stream's id and the capture run's report.
+    ///
+    /// When `RNUMA_SHARDS` requests more than one shard, the captured
+    /// stream is additionally replayed on the pool-backed sharded
+    /// executor and checked bit-identical against the capture run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation, or if the self-checking
+    /// sharded replay diverges (an executor bug).
+    pub fn capture<W: Workload + ?Sized>(
+        &mut self,
+        config: MachineConfig,
+        workload: &mut W,
+    ) -> (TraceId, RunReport) {
+        let (report, trace) = run_traced_env_checked(config, workload);
+        let id = self.insert(report.workload, config, &trace);
+        (id, report)
+    }
+
+    /// Stores one already-captured stream (segmenting and, when
+    /// enabled, interning it) and returns its id.
+    pub fn insert(
+        &mut self,
+        workload: &'static str,
+        config: MachineConfig,
+        ops: &[TraceOp],
+    ) -> TraceId {
+        let mut segs = Vec::with_capacity(ops.len().div_ceil(SEG_OPS));
+        for chunk in ops.chunks(SEG_OPS) {
+            segs.push(self.intern_segment(chunk));
+        }
+        self.captured_ops += ops.len() as u64;
+        let id = TraceId(u32::try_from(self.traces.len()).expect("trace count overflow"));
+        self.traces.push(TraceRec {
+            workload,
+            config,
+            segs,
+            ops: ops.len() as u64,
+        });
+        id
+    }
+
+    fn intern_segment(&mut self, chunk: &[TraceOp]) -> u32 {
+        if self.interning {
+            let hash = seg_hash(chunk);
+            // First-wins on hash collisions: a mismatching occupant just
+            // costs this segment its dedup, never its correctness.
+            if let Some(&seg) = self.dedup.get(hash) {
+                if self.segment(seg) == chunk {
+                    return seg;
+                }
+            } else {
+                let seg = self.push_segment(chunk);
+                self.dedup.insert(hash, seg);
+                return seg;
+            }
+        }
+        self.push_segment(chunk)
+    }
+
+    fn push_segment(&mut self, chunk: &[TraceOp]) -> u32 {
+        let start = u32::try_from(self.arena.len()).expect("trace arena overflow");
+        self.arena.extend_from_slice(chunk);
+        let seg = u32::try_from(self.segs.len()).expect("segment count overflow");
+        self.segs.push((start, chunk.len() as u32));
+        seg
+    }
+
+    fn segment(&self, seg: u32) -> &[TraceOp] {
+        let (start, len) = self.segs[seg as usize];
+        &self.arena[start as usize..start as usize + len as usize]
+    }
+
+    fn rec(&self, id: TraceId) -> &TraceRec {
+        &self.traces[id.0 as usize]
+    }
+
+    /// The stream's segments, in replay order.
+    pub fn segments(&self, id: TraceId) -> impl Iterator<Item = &[TraceOp]> + '_ {
+        self.rec(id).segs.iter().map(move |&seg| self.segment(seg))
+    }
+
+    /// Number of operations in the stream.
+    #[must_use]
+    pub fn ops(&self, id: TraceId) -> u64 {
+        self.rec(id).ops
+    }
+
+    /// The workload name recorded at capture.
+    #[must_use]
+    pub fn workload(&self, id: TraceId) -> &'static str {
+        self.rec(id).workload
+    }
+
+    /// The configuration the stream was captured under.
+    #[must_use]
+    pub fn capture_config(&self, id: TraceId) -> MachineConfig {
+        self.rec(id).config
+    }
+
+    /// Number of captured streams.
+    #[must_use]
+    pub fn traces(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Total ops captured across all streams (before interning).
+    #[must_use]
+    pub fn captured_ops(&self) -> u64 {
+        self.captured_ops
+    }
+
+    /// Ops actually resident in the arena (after interning).
+    #[must_use]
+    pub fn stored_ops(&self) -> u64 {
+        self.arena.len() as u64
+    }
+
+    /// Replays the stream serially on a fresh machine built from
+    /// `config`, returning its report. This is the *serial path* every
+    /// other replay mode is bit-identical to.
+    ///
+    /// `config` need not be the capture configuration — that is the
+    /// point of a sweep — but it must describe the same cluster shape
+    /// (node and CPU counts), since the stream addresses CPUs by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation or its cluster shape differs
+    /// from the capture configuration's.
+    #[must_use]
+    pub fn replay_serial(&self, id: TraceId, config: MachineConfig) -> RunReport {
+        let rec = self.rec(id);
+        assert_eq!(
+            (config.nodes, config.cpus_per_node),
+            (rec.config.nodes, rec.config.cpus_per_node),
+            "replay configuration must match the capture cluster shape"
+        );
+        let mut machine = Machine::new(config).expect("experiment configs must be valid");
+        machine.replay_segments(self.segments(id));
+        RunReport {
+            workload: rec.workload,
+            protocol: config.protocol.label(),
+            config,
+            metrics: machine.metrics(),
+        }
+    }
+}
+
+/// Deterministic content hash of one segment (FxHash-style multiply
+/// mixing; collisions are verified against the arena, never trusted).
+fn seg_hash(ops: &[TraceOp]) -> u64 {
+    const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (ops.len() as u64);
+    let feed = |h: &mut u64, v: u64| *h = (*h ^ v).wrapping_mul(MIX).rotate_left(23);
+    for op in ops {
+        match *op {
+            TraceOp::Access { cpu, va, write } => {
+                feed(&mut h, 1);
+                feed(&mut h, u64::from(cpu.0));
+                feed(&mut h, va.0);
+                feed(&mut h, u64::from(write));
+            }
+            TraceOp::Think { cpu, dur } => {
+                feed(&mut h, 2);
+                feed(&mut h, u64::from(cpu.0));
+                feed(&mut h, dur.0);
+            }
+            TraceOp::Barrier => feed(&mut h, 3),
+            TraceOp::ArmFirstTouch => feed(&mut h, 4),
+        }
+    }
+    h
+}
+
+/// Asserts that the pool-backed sharded replay of `segments` on
+/// `config` is bit-identical to `report` (the serial execution of the
+/// same stream).
+///
+/// Runs on [`ShardPool::checking`], which always has workers — a
+/// zero-worker pool would make the executor bypass itself and turn the
+/// check into serial-vs-serial.
+fn check_sharded_replay<'a, I>(
+    report: &RunReport,
+    segments: I,
+    config: MachineConfig,
+    shards: usize,
+) where
+    I: IntoIterator<Item = &'a [TraceOp]>,
+{
+    let mut sharded = ShardedMachine::with_pool(config, shards, ShardPool::checking())
+        .expect("config validated by caller");
+    sharded.run_segments(segments);
+    assert!(
+        report.metrics.replay_eq(&sharded.metrics()),
+        "sharded replay ({shards} shards) diverged from serial for {} on {}:\n\
+         serial:  {}\nsharded: {}",
+        report.workload,
+        report.protocol,
+        report.metrics,
+        sharded.metrics()
+    );
+}
+
+/// Replays one sweep cell: the captured stream `id` against `config`,
+/// serially — and, when `RNUMA_SHARDS` requests more than one shard,
+/// additionally through the pool-backed sharded executor with a
+/// bit-identical self-check. This is the per-cell entry point of the
+/// trace-once/replay-many driver (`rnuma_bench::sweep_grid` calls it
+/// for every non-capture cell).
+///
+/// # Panics
+///
+/// Panics if `config` fails validation or mismatches the capture
+/// cluster shape, or — the point of the self-check — if the sharded
+/// replay diverges from the serial one.
+#[must_use]
+pub fn run_replayed(store: &TraceStore, id: TraceId, config: MachineConfig) -> RunReport {
+    let report = store.replay_serial(id, config);
+    if let Some(shards) = shards_from_env().filter(|&s| s > 1) {
+        check_sharded_replay(&report, store.segments(id), config, shards);
+    }
+    report
+}
+
+/// Runs one workload against a whole configuration axis the
+/// trace-once/replay-many way: the workload executes **once**, on
+/// `configs[0]` (capturing its stream), and every other configuration
+/// replays the captured stream — fanned over the host's cores
+/// (`RNUMA_JOBS` overrides; `RNUMA_SHARDS` adds the per-cell sharded
+/// self-check). Returns one report per configuration, in order.
+///
+/// All cells therefore simulate the *same* reference stream — the
+/// fixed-trace methodology classic ccNUMA tooling uses for sweeps —
+/// and each cell is bit-identical to a serial [`Machine::replay`] of
+/// that stream on its configuration (see `docs/SWEEP.md`).
+///
+/// # Example
+///
+/// ```
+/// use rnuma::config::{MachineConfig, Protocol};
+/// use rnuma::experiment::run_sweep;
+/// use rnuma::program::{Runner, Workload};
+///
+/// struct Touch;
+/// impl Workload for Touch {
+///     fn name(&self) -> &'static str { "touch" }
+///     fn run(&mut self, r: &mut Runner<'_>) {
+///         let data = r.alloc(4096);
+///         let items = r.block_partition(64);
+///         r.parallel(&items, |ctx, _cpu, i| ctx.update(data.word(i)));
+///     }
+/// }
+///
+/// let configs = [
+///     MachineConfig::paper_base(Protocol::ideal()),
+///     MachineConfig::paper_base(Protocol::paper_rnuma()),
+/// ];
+/// // The workload executes once; the second cell replays its stream.
+/// let reports = run_sweep(&configs, &mut Touch);
+/// assert_eq!(reports.len(), 2);
+/// assert_eq!(
+///     reports[0].metrics.references(),
+///     reports[1].metrics.references(),
+/// );
+/// ```
+///
+/// # Panics
+///
+/// Panics if `configs` is empty, a configuration fails validation, or
+/// the configurations disagree on cluster shape.
+pub fn run_sweep<W: Workload + ?Sized>(
+    configs: &[MachineConfig],
+    workload: &mut W,
+) -> Vec<RunReport> {
+    assert!(!configs.is_empty(), "need at least one configuration");
+    let mut store = TraceStore::new();
+    let (id, first) = store.capture(configs[0], workload);
+    let mut reports = vec![first];
+    reports.extend(parallel_map(&configs[1..], |&config| {
+        run_replayed(&store, id, config)
+    }));
+    reports
 }
 
 fn normalize_to_first(reports: Vec<RunReport>) -> Vec<NormalizedReport> {
@@ -411,6 +859,101 @@ mod tests {
             )
         });
         assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn trace_store_replay_matches_capture_bit_for_bit() {
+        let config = MachineConfig::paper_base(Protocol::paper_rnuma());
+        let mut store = TraceStore::new();
+        let (id, report) = store.capture(config, &mut Stream { words: 2048 });
+        assert_eq!(store.traces(), 1);
+        assert_eq!(store.workload(id), "stream");
+        assert_eq!(store.capture_config(id), config);
+        let replayed = store.replay_serial(id, config);
+        assert!(
+            report.metrics.replay_eq(&replayed.metrics),
+            "replay diverged from capture:\ncapture: {}\nreplay: {}",
+            report.metrics,
+            replayed.metrics
+        );
+    }
+
+    #[test]
+    fn trace_store_interns_repeated_segments() {
+        // Three identical 4096-op segments: interning stores one.
+        let op = TraceOp::Access {
+            cpu: CpuId(0),
+            va: rnuma_mem::addr::Va(0x2000),
+            write: false,
+        };
+        let ops = vec![op; 3 * 4096];
+        let config = MachineConfig::paper_base(Protocol::paper_ccnuma());
+        let mut interned = TraceStore::new();
+        let a = interned.insert("synthetic", config, &ops);
+        assert_eq!(interned.captured_ops(), 3 * 4096);
+        assert_eq!(interned.stored_ops(), 4096, "identical segments dedup");
+        assert_eq!(interned.ops(a), 3 * 4096);
+        // A raw store keeps everything; both replay identically.
+        let mut raw = TraceStore::raw();
+        let b = raw.insert("synthetic", config, &ops);
+        assert_eq!(raw.stored_ops(), 3 * 4096);
+        let ra = interned.replay_serial(a, config);
+        let rb = raw.replay_serial(b, config);
+        assert!(ra.metrics.replay_eq(&rb.metrics));
+        assert_eq!(ra.metrics.references(), 3 * 4096);
+    }
+
+    #[test]
+    fn sweep_replays_one_fixed_stream_across_the_axis() {
+        let configs = [
+            MachineConfig::paper_base(Protocol::ideal()),
+            MachineConfig::paper_base(Protocol::paper_ccnuma()),
+            MachineConfig::paper_base(Protocol::paper_scoma()),
+            MachineConfig::paper_base(Protocol::paper_rnuma()),
+        ];
+        let reports = run_sweep(&configs, &mut Stream { words: 2048 });
+        assert_eq!(reports.len(), 4);
+        // The capture cell is the execution-driven run itself.
+        let direct = run(configs[0], &mut Stream { words: 2048 });
+        assert!(reports[0].metrics.replay_eq(&direct.metrics));
+        // Every cell simulates the same reference stream.
+        for r in &reports {
+            assert_eq!(r.metrics.references(), reports[0].metrics.references());
+            assert!(r.cycles() > 0);
+        }
+        assert_eq!(reports[1].protocol, "CC-NUMA");
+        assert_eq!(reports[3].protocol, "R-NUMA");
+        // Each replay cell is bit-identical to a serial replay of the
+        // captured stream on its configuration.
+        let mut store = TraceStore::new();
+        let (id, _) = store.capture(configs[0], &mut Stream { words: 2048 });
+        for (i, r) in reports.iter().enumerate().skip(1) {
+            let serial = store.replay_serial(id, configs[i]);
+            assert!(
+                serial.metrics.replay_eq(&r.metrics),
+                "sweep cell {i} diverged from the serial replay path"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster shape")]
+    fn replay_rejects_mismatched_geometry() {
+        let mut store = TraceStore::new();
+        let base = MachineConfig::paper_base(Protocol::ideal());
+        let (id, _) = store.capture(base, &mut Stream { words: 64 });
+        let mut other = base;
+        other.nodes = 4;
+        let _ = store.replay_serial(id, other);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_covers_all() {
+        let jobs: Vec<u64> = (0..37).collect();
+        let out = parallel_map(&jobs, |&j| j * 3);
+        assert_eq!(out, (0..37).map(|j| j * 3).collect::<Vec<_>>());
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(&empty, |&j| j).is_empty());
     }
 
     #[test]

@@ -28,13 +28,15 @@
 //!   point-to-point interconnect with NI contention.
 //! * [`program`] — the shared-memory programming framework for workload
 //!   kernels (allocation, parallel phases, barriers, think time).
-//! * [`experiment`] — one-call runs, ideal-normalized batches, and the
+//! * [`experiment`] — one-call runs, ideal-normalized batches, the
 //!   parallel batch driver (`RNUMA_JOBS` workers across machines,
-//!   `RNUMA_SHARDS` self-checking shards within one).
+//!   `RNUMA_SHARDS` self-checking shards within one), and the
+//!   trace-once/replay-many sweep driver (`TraceStore`, `run_sweep`;
+//!   see `docs/SWEEP.md`).
 //! * [`shard`] — deterministic epoch-sharded execution of one machine:
-//!   node shards run a trace's contained windows on worker threads and
-//!   replay cross-shard effects in canonical order, bit-identical to
-//!   serial (see `docs/DETERMINISM.md`).
+//!   node shards run a trace's contained windows on a persistent worker
+//!   pool (`ShardPool`) and replay cross-shard effects in canonical
+//!   order, bit-identical to serial (see `docs/DETERMINISM.md`).
 //! * [`model`] — the paper's Section-3.2 competitive analysis (EQ 1–3).
 //! * [`metrics`] — everything the paper's tables and figures report.
 //!
@@ -79,11 +81,12 @@ pub mod shard;
 
 pub use config::{MachineConfig, Protocol};
 pub use experiment::{
-    run, run_env_sharded, run_normalized, run_normalized_serial, run_parallel, run_sharded_checked,
-    run_traced, NormalizedReport, RunReport,
+    parallel_map, run, run_env_sharded, run_normalized, run_normalized_serial, run_parallel,
+    run_replayed, run_sharded_checked, run_sweep, run_traced, run_traced_env_checked,
+    NormalizedReport, RunReport, TraceId, TraceStore,
 };
 pub use machine::Machine;
 pub use metrics::{Metrics, PageProfile};
 pub use model::ModelParams;
 pub use program::{Ctx, Region, Runner, Workload};
-pub use shard::{shards_from_env, ShardStats, ShardedMachine, TraceOp};
+pub use shard::{shards_from_env, ShardPool, ShardStats, ShardedMachine, TraceOp};

@@ -38,13 +38,14 @@
 
 use crate::config::{MachineConfig, Protocol};
 use crate::metrics::Metrics;
-use crate::shard::TraceOp;
+use crate::shard::{Footprints, TraceOp};
 use rnuma_mem::addr::{CpuId, NodeId, VBlock, VPage, Va};
 use rnuma_mem::block_cache::{BlockCache, BlockEviction, BlockState};
 use rnuma_mem::fine_tags::AccessTag;
 use rnuma_mem::l1::{L1Cache, L1Probe};
 use rnuma_mem::page_cache::{PageCache, PageVictim};
 use rnuma_mem::page_table::{Mapping, NodePageTable};
+use rnuma_net::net::NodeNi;
 use rnuma_net::{MsgKind, NetWindow, Network};
 use rnuma_os::{OsStats, PageManager};
 use rnuma_proto::bus::{self, BusRequest};
@@ -311,6 +312,25 @@ impl Machine {
         }
     }
 
+    /// Replays a segmented trace serially, in order — the form traces
+    /// take inside an interned `TraceStore` arena, where one logical
+    /// stream is a sequence of (possibly shared) segments.
+    ///
+    /// Equivalent to concatenating the segments and calling
+    /// [`Machine::replay`] once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an op references a CPU outside the machine.
+    pub fn replay_segments<'a, I>(&mut self, segments: I)
+    where
+        I: IntoIterator<Item = &'a [TraceOp]>,
+    {
+        for seg in segments {
+            self.replay(seg);
+        }
+    }
+
     /// A snapshot of the run metrics so far (execution time fields are
     /// refreshed from the CPU clocks).
     #[must_use]
@@ -367,66 +387,121 @@ impl Machine {
         &mut self.nodes[home.0 as usize].dir
     }
 
-    /// Splits the machine into one execution lane per node range, each
-    /// with its own metrics sink, flush scratch, and effect buffer.
+    /// Moves each node range's simulation state (nodes, CPU clocks, MRU
+    /// slots, NI ports) out of the machine and into the given chunks —
+    /// the ownership-handoff half of the persistent shard worker pool:
+    /// chunks are plain owned values, so they cross threads through
+    /// channels with no borrowed state.
     ///
-    /// The ranges must tile `0..nodes`. Every lane sees *absolute* node
-    /// and CPU ids; touching state outside its range panics (except for
-    /// posted write-backs, which are buffered as effects).
-    pub(crate) fn shard_lanes<'a>(
-        &'a mut self,
-        ranges: &[Range<usize>],
-        epoch: u64,
-        metrics: &'a mut [Metrics],
-        scratch: &'a mut [Vec<BlockEviction>],
-        effects: &'a mut [Vec<EffectMsg>],
-    ) -> Vec<Lanes<'a>> {
-        assert_eq!(ranges.len(), metrics.len());
-        assert_eq!(ranges.len(), scratch.len());
-        assert_eq!(ranges.len(), effects.len());
+    /// The chunks' accumulator fields (metrics, scratch, effect buffers)
+    /// are left untouched, so they persist across windows. Restore with
+    /// [`Machine::attach_shards`] before using the machine again.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ranges` tile `0..nodes` in ascending order and the
+    /// chunks' state vectors are empty.
+    pub(crate) fn detach_shards(&mut self, ranges: &[Range<usize>], chunks: &mut [ShardChunk]) {
+        assert_eq!(ranges.len(), chunks.len());
         let cpus_per_node = self.cfg.cpus_per_node as usize;
-        let mut lanes = Vec::with_capacity(ranges.len());
-        let mut nodes_rest: &mut [Node] = &mut self.nodes;
-        let mut clocks_rest: &mut [Cycles] = &mut self.clocks;
-        let mut mru_rest: &mut [MruTranslation] = &mut self.mru;
-        let nets = self.net.windows(ranges);
-        let pages = &self.pages;
-        let cfg = &self.cfg;
-        let mut at = 0usize;
-        for ((((r, net), m), fs), eff) in ranges
-            .iter()
-            .zip(nets)
-            .zip(metrics.iter_mut())
-            .zip(scratch.iter_mut())
-            .zip(effects.iter_mut())
-        {
-            assert_eq!(r.start, at, "ranges must tile the node space");
-            let n = r.end - r.start;
-            let (node_head, node_tail) = nodes_rest.split_at_mut(n);
-            let (clock_head, clock_tail) = clocks_rest.split_at_mut(n * cpus_per_node);
-            let (mru_head, mru_tail) = mru_rest.split_at_mut(n * cpus_per_node);
-            nodes_rest = node_tail;
-            clocks_rest = clock_tail;
-            mru_rest = mru_tail;
-            lanes.push(Lanes {
-                cfg,
-                node_base: r.start,
-                nodes: node_head,
-                cpu_base: r.start * cpus_per_node,
-                clocks: clock_head,
-                mru: mru_head,
-                net,
-                homes: Homes::Frozen(pages),
-                metrics: m,
-                flush_scratch: fs,
-                effects: Some(eff),
-                epoch,
-                seq: 0,
-            });
-            at = r.end;
+        let mut nodes = std::mem::take(&mut self.nodes);
+        let mut clocks = std::mem::take(&mut self.clocks);
+        let mut mru = std::mem::take(&mut self.mru);
+        let mut nis = self.net.take_nis();
+        assert_eq!(nodes.len(), self.cfg.nodes as usize, "already detached");
+        // Tail-first: each chunk drains its suffix without shifting the
+        // elements before it.
+        for (r, chunk) in ranges.iter().zip(chunks.iter_mut()).rev() {
+            assert!(
+                chunk.nodes.is_empty() && chunk.nis.is_empty(),
+                "chunk already holds detached state"
+            );
+            chunk.node_base = r.start;
+            chunk.cpu_base = r.start * cpus_per_node;
+            chunk.nodes.extend(nodes.drain(r.start..));
+            chunk.clocks.extend(clocks.drain(r.start * cpus_per_node..));
+            chunk.mru.extend(mru.drain(r.start * cpus_per_node..));
+            chunk.nis.extend(nis.drain(r.start..));
         }
-        assert_eq!(at, self.cfg.nodes as usize, "ranges must cover every node");
-        lanes
+        assert!(nodes.is_empty(), "ranges must tile the node space");
+        // Keep the emptied vectors (and their capacity) for reattach.
+        self.nodes = nodes;
+        self.clocks = clocks;
+        self.mru = mru;
+        self.net.put_nis(nis);
+    }
+
+    /// Moves chunk state back into the machine, inverting
+    /// [`Machine::detach_shards`]. The chunks must arrive in ascending
+    /// node order (the order `detach_shards` filled them in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reassembled machine does not cover every node.
+    pub(crate) fn attach_shards(&mut self, chunks: &mut [ShardChunk]) {
+        let mut nis = self.net.take_nis();
+        for chunk in chunks.iter_mut() {
+            assert_eq!(chunk.node_base, self.nodes.len(), "chunk order broken");
+            self.nodes.append(&mut chunk.nodes);
+            self.clocks.append(&mut chunk.clocks);
+            self.mru.append(&mut chunk.mru);
+            nis.append(&mut chunk.nis);
+        }
+        self.net.put_nis(nis);
+        assert_eq!(
+            self.nodes.len(),
+            self.cfg.nodes as usize,
+            "chunks must cover every node"
+        );
+    }
+}
+
+/// One shard's owned slice of machine state, plus its per-shard
+/// accumulators (metrics deltas, flush scratch, deferred cross-shard
+/// effects).
+///
+/// Between windows a chunk holds only the accumulators; during a
+/// parallel window [`Machine::detach_shards`] moves the shard's nodes,
+/// clocks, MRU slots, and NI ports in, the chunk travels to a pool
+/// worker as a plain owned value, and [`Machine::attach_shards`] moves
+/// the state back at the epoch barrier.
+#[derive(Debug, Default)]
+pub(crate) struct ShardChunk {
+    pub(crate) node_base: usize,
+    pub(crate) cpu_base: usize,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) clocks: Vec<Cycles>,
+    pub(crate) mru: Vec<MruTranslation>,
+    pub(crate) nis: Vec<NodeNi>,
+    pub(crate) metrics: Metrics,
+    pub(crate) scratch: Vec<BlockEviction>,
+    pub(crate) effects: Vec<EffectMsg>,
+}
+
+impl ShardChunk {
+    /// The execution lane over this chunk's state: the same walk engine
+    /// the serial path runs, against a frozen home table.
+    pub(crate) fn lanes<'a>(
+        &'a mut self,
+        cfg: &'a MachineConfig,
+        homes: &'a Footprints,
+        epoch: u64,
+    ) -> Lanes<'a> {
+        Lanes {
+            cfg,
+            node_base: self.node_base,
+            nodes: &mut self.nodes,
+            cpu_base: self.cpu_base,
+            clocks: &mut self.clocks,
+            mru: &mut self.mru,
+            net: NetWindow::over(cfg.net, self.node_base, &mut self.nis),
+            homes: Homes::Frozen(homes),
+            metrics: &mut self.metrics,
+            flush_scratch: &mut self.scratch,
+            effects: Some(&mut self.effects),
+            epoch,
+            seq: 0,
+        }
     }
 }
 
@@ -440,15 +515,15 @@ enum Homes<'a> {
     /// Exclusive ownership: faults fix homes on touch (serial path).
     Live(&'a mut PageManager),
     /// Shared frozen view: every page faulted in this window was
-    /// pre-homed by the window scan (shard path).
-    Frozen(&'a PageManager),
+    /// pre-homed — in trace order — by the window scan (shard path).
+    Frozen(&'a Footprints),
 }
 
 impl Homes<'_> {
     fn on_touch(&mut self, page: VPage, toucher: NodeId) -> NodeId {
         match self {
             Homes::Live(pm) => pm.home_on_touch(page, toucher),
-            Homes::Frozen(pm) => pm
+            Homes::Frozen(fp) => fp
                 .home_of(page)
                 .expect("window scan pre-homes every page faulted in a shard window"),
         }
@@ -457,7 +532,7 @@ impl Homes<'_> {
     fn of(&self, page: VPage) -> Option<NodeId> {
         match self {
             Homes::Live(pm) => pm.home_of(page),
-            Homes::Frozen(pm) => pm.home_of(page),
+            Homes::Frozen(fp) => fp.home_of(page),
         }
     }
 }

@@ -1,4 +1,5 @@
-//! Deterministic epoch-sharded machine execution.
+//! Deterministic epoch-sharded machine execution on a persistent
+//! worker pool.
 //!
 //! PR 1 parallelized experiments *across* machines; this module
 //! parallelizes the reference walk *within* one machine, with results
@@ -37,19 +38,39 @@
 //!    (any op that could is, by the footprint rule, not contained), so
 //!    deferral is exact.
 //!
+//! # The worker pool
+//!
+//! Parallel windows execute on a [`ShardPool`]: a set of long-lived,
+//! parked worker threads shared by every [`ShardedMachine`] in the
+//! process (or owned explicitly, for tests and embedding). Instead of
+//! spawning scoped threads per window — the previous design, whose
+//! spawn cost dominated short windows — the coordinator *moves* each
+//! shard's state out of the machine as an owned chunk
+//! (`Machine::detach_shards`), ships chunk + op bucket through a
+//! channel to a parked worker, and moves everything back at the epoch
+//! barrier. Ownership handoff means no borrowed state ever crosses a
+//! thread boundary (the pool is safe Rust all the way down), and a
+//! chunk move is a few hundred bytes of `memcpy` — noise next to the
+//! window's simulation work. When the pool has no workers (explicitly,
+//! or because the host has a single core), windows run inline on the
+//! coordinator, which measures within noise of the plain serial walk.
+//!
 //! The full argument for why this reproduces the serial execution
 //! bit-for-bit is spelled out in `docs/DETERMINISM.md`; the workspace
 //! determinism tests enforce it across the paper's whole figure grid.
+//! How trace capture and sharded replay combine into parameter sweeps
+//! is described in `docs/SWEEP.md`.
 
 use crate::config::{ConfigError, MachineConfig};
-use crate::machine::Machine;
+use crate::machine::{Machine, ShardChunk};
 use crate::metrics::Metrics;
 use rnuma_mem::addr::{CpuId, NodeId, VPage, Va};
-use rnuma_mem::block_cache::BlockEviction;
 use rnuma_mem::fxmap::FxMap;
 use rnuma_proto::effect::EffectMsg;
 use rnuma_sim::{Cycles, EpochClock};
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 
 /// One replayable machine-level operation.
 ///
@@ -86,12 +107,17 @@ pub enum TraceOp {
 pub struct ShardStats {
     /// Contained windows executed (serial-inline or parallel).
     pub windows: u64,
-    /// Windows large enough to fan out across worker threads.
+    /// Windows large enough to fan out across pool workers.
     pub parallel_windows: u64,
+    /// Shard buckets shipped to pool workers (the coordinator always
+    /// keeps one bucket per parallel window for itself).
+    pub pool_jobs: u64,
     /// Ops executed inside contained windows.
     pub contained_ops: u64,
-    /// Ops executed serially between windows (cross-shard accesses,
-    /// barriers, first-touch arming).
+    /// Ops executed serially on the whole machine: between windows
+    /// (cross-shard accesses, barriers, first-touch arming) — or the
+    /// entire trace when the single-shard/worker-less bypass skips
+    /// window formation altogether.
     pub serialized_ops: u64,
     /// Cross-shard directory effects replayed at epoch barriers.
     pub effects_applied: u64,
@@ -100,16 +126,34 @@ pub struct ShardStats {
 /// Footprint record of one page: which shards ever referenced it, and
 /// its (immutable once fixed) home.
 #[derive(Clone, Copy, Debug)]
-struct PageInfo {
+pub(crate) struct PageInfo {
     shard_mask: u32,
     home: NodeId,
+}
+
+/// The monotone per-page footprint/home table the window scan maintains.
+///
+/// During a parallel window every worker holds a shared (`Arc`) view:
+/// homes are pre-resolved in trace order by the coordinator before the
+/// window starts, so lanes never race on the home table. Between
+/// windows the coordinator is the sole owner and updates it in place.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Footprints {
+    pages: FxMap<VPage, PageInfo>,
+}
+
+impl Footprints {
+    /// The pre-resolved home of `page`, if it was ever referenced.
+    pub(crate) fn home_of(&self, page: VPage) -> Option<NodeId> {
+        self.pages.get(page).map(|info| info.home)
+    }
 }
 
 /// Upper bound on shards (the footprint mask is a `u32`).
 pub const MAX_SHARDS: usize = 32;
 
 /// Contained windows shorter than this run inline on the coordinator —
-/// thread fan-out only pays off once a window amortizes the spawn cost.
+/// pool handoff only pays off once a window amortizes the barrier cost.
 const DEFAULT_PARALLEL_THRESHOLD: usize = 256;
 
 /// How the scanner classified one op.
@@ -122,7 +166,207 @@ enum Class {
     Blocking,
 }
 
-/// A [`Machine`] executed in deterministic node shards.
+/// One parallel-window assignment for a pool worker: a shard's owned
+/// state chunk, its op bucket, and the shared frozen home table.
+/// Everything is owned or `Arc`-shared, so the job crosses threads
+/// without borrowing from the coordinator.
+struct Job {
+    cfg: MachineConfig,
+    epoch: u64,
+    homes: Arc<Footprints>,
+    chunk: ShardChunk,
+    ops: Vec<(u64, TraceOp)>,
+    slot: usize,
+    reply: mpsc::Sender<Done>,
+}
+
+/// A worker's reply: the chunk and bucket come home at the epoch
+/// barrier. `outcome` is `Err` when the worker panicked mid-window (an
+/// executor bug); the coordinator re-panics.
+struct Done {
+    slot: usize,
+    outcome: Result<(ShardChunk, Vec<(u64, TraceOp)>), ()>,
+}
+
+/// A persistent pool of parked shard workers.
+///
+/// Workers are spawned once and live until the pool drops; between
+/// windows they park on the job queue. One pool serves any number of
+/// [`ShardedMachine`]s concurrently — jobs are self-contained, so the
+/// whole figure grid can self-check through a single process-wide pool
+/// ([`ShardPool::shared`]).
+///
+/// A pool with zero workers is valid and means *inline execution*: no
+/// fan-out is possible, so the executor bypasses the window scan and
+/// replays serially (bit-identical, by the determinism contract). That
+/// is what [`ShardPool::shared`] produces on a single-core host, where
+/// thread handoff and scan cost could only add overhead — the sharded
+/// bench lane measures within noise of serial there.
+///
+/// # Example
+///
+/// ```
+/// use rnuma::shard::{ShardPool, ShardedMachine, TraceOp};
+/// use rnuma::config::{MachineConfig, Protocol};
+/// use rnuma_mem::addr::{CpuId, Va};
+/// use std::sync::Arc;
+///
+/// // An explicit two-worker pool (tests force the threaded path this
+/// // way even on single-core hosts; production code uses
+/// // `ShardedMachine::new`, which shares the process-wide pool).
+/// let pool = Arc::new(ShardPool::new(2));
+/// let config = MachineConfig::paper_base(Protocol::paper_rnuma());
+/// let mut sm = ShardedMachine::with_pool(config, 4, pool).unwrap();
+/// sm.run_trace(&[TraceOp::Access { cpu: CpuId(0), va: Va(0x1000), write: true }]);
+/// assert_eq!(sm.metrics().references(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ShardPool {
+    queue: Option<mpsc::Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    jobs_executed: Arc<AtomicU64>,
+}
+
+impl ShardPool {
+    /// Spawns a pool with `workers` parked worker threads (0 = inline
+    /// execution).
+    #[must_use]
+    pub fn new(workers: usize) -> ShardPool {
+        let jobs_executed = Arc::new(AtomicU64::new(0));
+        if workers == 0 {
+            return ShardPool {
+                queue: None,
+                workers: Vec::new(),
+                jobs_executed,
+            };
+        }
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let counter = Arc::clone(&jobs_executed);
+                std::thread::Builder::new()
+                    .name(format!("rnuma-shard-{i}"))
+                    .spawn(move || worker_loop(&rx, &counter))
+                    .expect("cannot spawn shard worker")
+            })
+            .collect();
+        ShardPool {
+            queue: Some(tx),
+            workers: handles,
+            jobs_executed,
+        }
+    }
+
+    /// The process-wide pool every [`ShardedMachine::new`] shares: one
+    /// worker per available core, zero (inline execution) on a
+    /// single-core host.
+    #[must_use]
+    pub fn shared() -> Arc<ShardPool> {
+        static SHARED: OnceLock<Arc<ShardPool>> = OnceLock::new();
+        Arc::clone(SHARED.get_or_init(|| {
+            let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+            let workers = if cores <= 1 { 0 } else { cores.min(MAX_SHARDS) };
+            Arc::new(ShardPool::new(workers))
+        }))
+    }
+
+    /// The pool self-checking replays run on: [`ShardPool::shared`]
+    /// when it has workers, otherwise a process-wide two-worker pool.
+    ///
+    /// A zero-worker pool makes `ShardedMachine` bypass the executor
+    /// entirely, which would turn a "sharded vs. serial" self-check
+    /// into serial-vs-serial; forcing workers here keeps
+    /// `RNUMA_SHARDS` checks meaningful on single-core hosts.
+    #[must_use]
+    pub fn checking() -> Arc<ShardPool> {
+        let shared = ShardPool::shared();
+        if shared.workers() > 0 {
+            return shared;
+        }
+        static FORCED: OnceLock<Arc<ShardPool>> = OnceLock::new();
+        Arc::clone(FORCED.get_or_init(|| Arc::new(ShardPool::new(2))))
+    }
+
+    /// Number of worker threads (0 = every window runs inline).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Total jobs executed by pool workers since the pool was created
+    /// (diagnostics; excludes the coordinator's inline buckets).
+    #[must_use]
+    pub fn jobs_executed(&self) -> u64 {
+        self.jobs_executed.load(Ordering::Relaxed)
+    }
+
+    fn submit(&self, job: Job) {
+        self.queue
+            .as_ref()
+            .expect("submit on an inline (zero-worker) pool")
+            .send(job)
+            .expect("shard pool workers exited");
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        // Closing the queue wakes every parked worker with a recv error.
+        self.queue = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The parked-worker loop: receive a job, run its bucket over its owned
+/// chunk, send everything home.
+fn worker_loop(queue: &Mutex<mpsc::Receiver<Job>>, jobs_executed: &AtomicU64) {
+    loop {
+        // Hold the lock only while dequeuing, not while executing.
+        let job = {
+            let rx = match queue.lock() {
+                Ok(rx) => rx,
+                // A poisoned queue means another worker panicked while
+                // *dequeuing* (execution happens outside the lock);
+                // the receiver itself is still sound.
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            match rx.recv() {
+                Ok(job) => job,
+                Err(_) => return, // pool dropped: all senders gone
+            }
+        };
+        let Job {
+            cfg,
+            epoch,
+            homes,
+            mut chunk,
+            ops,
+            slot,
+            reply,
+        } = job;
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut lane = chunk.lanes(&cfg, &homes, epoch);
+            run_bucket(&mut lane, &ops);
+        }));
+        // Drop the shared home view *before* replying: once the
+        // coordinator has collected every reply, it is again the sole
+        // owner and may extend the table in place.
+        drop(homes);
+        jobs_executed.fetch_add(1, Ordering::Relaxed);
+        let outcome = match run {
+            Ok(()) => Ok((chunk, ops)),
+            Err(_) => Err(()),
+        };
+        let _ = reply.send(Done { slot, outcome });
+    }
+}
+
+/// A [`Machine`] executed in deterministic node shards on a
+/// [`ShardPool`].
 ///
 /// # Example
 ///
@@ -152,26 +396,46 @@ pub struct ShardedMachine {
     /// Node index → owning shard.
     shard_of_node: Vec<u8>,
     /// Monotone per-page footprint + resolved home, maintained by the
-    /// window scan.
-    pages_seen: FxMap<VPage, PageInfo>,
+    /// window scan; shared read-only with workers during windows.
+    footprints: Arc<Footprints>,
     epochs: EpochClock,
     parallel_threshold: usize,
-    // Per-shard scratch, reused across windows.
-    shard_metrics: Vec<Metrics>,
-    shard_scratch: Vec<Vec<BlockEviction>>,
-    shard_effects: Vec<Vec<EffectMsg>>,
+    pool: Arc<ShardPool>,
+    /// Per-shard chunks: accumulators persist here between windows;
+    /// machine state moves in and out per parallel window.
+    chunks: Vec<ShardChunk>,
     op_buckets: Vec<Vec<(u64, TraceOp)>>,
+    effect_scratch: Vec<EffectMsg>,
+    reply_tx: mpsc::Sender<Done>,
+    reply_rx: mpsc::Receiver<Done>,
     stats: ShardStats,
 }
 
 impl ShardedMachine {
     /// Builds a fresh machine from `config`, partitioned into `shards`
-    /// contiguous node shards (clamped to `1..=min(nodes, MAX_SHARDS)`).
+    /// contiguous node shards (clamped to `1..=min(nodes, MAX_SHARDS)`),
+    /// executing parallel windows on the process-wide
+    /// [`ShardPool::shared`] pool.
     ///
     /// # Errors
     ///
     /// Returns the configuration's validation error, if any.
     pub fn new(config: MachineConfig, shards: usize) -> Result<ShardedMachine, ConfigError> {
+        ShardedMachine::with_pool(config, shards, ShardPool::shared())
+    }
+
+    /// Like [`ShardedMachine::new`], but on an explicit pool. Tests use
+    /// this to force the threaded path regardless of host core count;
+    /// embedders use it to bound worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error, if any.
+    pub fn with_pool(
+        config: MachineConfig,
+        shards: usize,
+        pool: Arc<ShardPool>,
+    ) -> Result<ShardedMachine, ConfigError> {
         let machine = Machine::new(config)?;
         let nodes = config.nodes as usize;
         let shards = shards.clamp(1, nodes.min(MAX_SHARDS));
@@ -185,16 +449,19 @@ impl ShardedMachine {
                 shard_of_node[n] = s as u8;
             }
         }
+        let (reply_tx, reply_rx) = mpsc::channel();
         Ok(ShardedMachine {
             machine,
             shard_of_node,
-            pages_seen: FxMap::new(),
+            footprints: Arc::new(Footprints::default()),
             epochs: EpochClock::new(),
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
-            shard_metrics: (0..shards).map(|_| Metrics::default()).collect(),
-            shard_scratch: (0..shards).map(|_| Vec::new()).collect(),
-            shard_effects: (0..shards).map(|_| Vec::new()).collect(),
+            pool,
+            chunks: (0..shards).map(|_| ShardChunk::default()).collect(),
             op_buckets: (0..shards).map(|_| Vec::new()).collect(),
+            effect_scratch: Vec::new(),
+            reply_tx,
+            reply_rx,
             stats: ShardStats::default(),
             ranges,
         })
@@ -212,7 +479,7 @@ impl ShardedMachine {
         self.stats
     }
 
-    /// Overrides the minimum window size for thread fan-out (benchmarks
+    /// Overrides the minimum window size for pool fan-out (benchmarks
     /// and tests; the default suits production runs).
     pub fn set_parallel_threshold(&mut self, ops: usize) {
         self.parallel_threshold = ops.max(1);
@@ -226,8 +493,9 @@ impl ShardedMachine {
 
     /// A snapshot of the run metrics so far.
     ///
-    /// Valid between [`ShardedMachine::run_trace`] calls (shard-local
-    /// metrics are folded in at the end of each call).
+    /// Valid between [`ShardedMachine::run_trace`] /
+    /// [`ShardedMachine::run_segments`] calls (shard-local metrics are
+    /// folded in at the end of each call).
     #[must_use]
     pub fn metrics(&self) -> Metrics {
         self.machine.metrics()
@@ -236,7 +504,8 @@ impl ShardedMachine {
     /// Replays `ops` deterministically across the shards.
     ///
     /// The resulting machine state and metrics are bit-identical to a
-    /// serial [`Machine`] executing the same trace, for any shard count.
+    /// serial [`Machine`] executing the same trace, for any shard count
+    /// and any pool size.
     ///
     /// # Panics
     ///
@@ -244,12 +513,65 @@ impl ShardedMachine {
     /// (indicating an executor bug) if a contained window touches
     /// out-of-shard state.
     pub fn run_trace(&mut self, ops: &[TraceOp]) {
+        self.run_segments(std::iter::once(ops));
+    }
+
+    /// Replays a segmented trace — the form streams take inside an
+    /// interned `TraceStore` arena — deterministically across the
+    /// shards, bit-identical to [`Machine::replay_segments`] of the
+    /// same segments.
+    ///
+    /// Window formation restarts at segment boundaries (a window never
+    /// spans two segments); since *any* partition into contained windows
+    /// replays exactly, segmentation affects scheduling statistics but
+    /// not results.
+    ///
+    /// # Panics
+    ///
+    /// As [`ShardedMachine::run_trace`].
+    pub fn run_segments<'a, I>(&mut self, segments: I)
+    where
+        I: IntoIterator<Item = &'a [TraceOp]>,
+    {
+        for seg in segments {
+            self.run_ops(seg);
+        }
+        self.fold_shard_metrics();
+    }
+
+    fn run_ops(&mut self, ops: &[TraceOp]) {
+        // With one shard or a worker-less pool no window can ever fan
+        // out, so the window scan would be pure overhead: replay
+        // serially (identical results, by the determinism contract).
+        // This is what keeps the sharded path within noise of serial on
+        // single-core hosts.
+        if self.ranges.len() == 1 || self.pool.workers() == 0 {
+            self.stats.serialized_ops += ops.len() as u64;
+            self.machine.replay(ops);
+            return;
+        }
+        let cpus_per_node = self.machine.config().cpus_per_node;
         let mut cursor = 0usize;
         while cursor < ops.len() {
-            // Scan the maximal contained window.
+            // Scan the maximal contained window. The coordinator is the
+            // sole owner of the footprint table between windows (workers
+            // dropped their views at the last barrier), so one make_mut
+            // per window — not per op — yields the in-place borrow the
+            // whole scan classifies against.
             let mut end = cursor;
-            while end < ops.len() && self.classify(&ops[end]) == Class::Contained {
-                end += 1;
+            {
+                let footprints = Arc::make_mut(&mut self.footprints);
+                while end < ops.len()
+                    && classify(
+                        &ops[end],
+                        footprints,
+                        &mut self.machine,
+                        &self.shard_of_node,
+                        cpus_per_node,
+                    ) == Class::Contained
+                {
+                    end += 1;
+                }
             }
             self.exec_window(ops, cursor, end);
             // Execute the blocking op (if any) serially on the whole
@@ -261,7 +583,6 @@ impl ShardedMachine {
             cursor = end;
             self.epochs.advance();
         }
-        self.fold_shard_metrics();
     }
 
     /// Shard of the node `cpu` lives on.
@@ -270,56 +591,18 @@ impl ShardedMachine {
         self.shard_of_node[node] as usize
     }
 
-    /// Classifies one op, updating the page footprint and pre-resolving
-    /// the page's home exactly as the serial fault would.
-    ///
-    /// The home resolution is sound to run at scan time: a page's first
-    /// trace reference is necessarily its first machine-wide fault (an
-    /// unhomed page cannot be mapped — or cached — anywhere), the scan
-    /// visits references in trace order, and the scan never runs past a
-    /// blocking op, so it cannot observe a not-yet-executed
-    /// `ArmFirstTouch`.
-    fn classify(&mut self, op: &TraceOp) -> Class {
-        match *op {
-            TraceOp::Think { .. } => Class::Contained,
-            TraceOp::Barrier | TraceOp::ArmFirstTouch => Class::Blocking,
-            TraceOp::Access { cpu, va, .. } => {
-                let shard = self.shard_of_cpu(cpu);
-                let bit = 1u32 << shard;
-                let page = va.vpage();
-                let info = if let Some(info) = self.pages_seen.get_mut(page) {
-                    info.shard_mask |= bit;
-                    *info
-                } else {
-                    let node = NodeId((cpu.0 / self.machine.config().cpus_per_node) as u8);
-                    let home = self.machine.pages_mut().home_on_touch(page, node);
-                    let info = PageInfo {
-                        shard_mask: bit,
-                        home,
-                    };
-                    self.pages_seen.insert(page, info);
-                    info
-                };
-                let home_shard = self.shard_of_node[info.home.0 as usize] as usize;
-                if info.shard_mask == bit && home_shard == shard {
-                    Class::Contained
-                } else {
-                    Class::Blocking
-                }
-            }
-        }
-    }
-
-    /// Executes a contained window: inline when small or single-sharded,
-    /// fanned out one thread per shard otherwise, with cross-shard
-    /// effects replayed in canonical order at the closing barrier.
+    /// Executes a contained window: inline when smaller than the
+    /// fan-out threshold, otherwise fanned out over the pool with
+    /// cross-shard effects replayed in canonical order at the closing
+    /// barrier. (Single-shard and worker-less executions never reach
+    /// here — `run_ops` bypasses the scan entirely.)
     fn exec_window(&mut self, ops: &[TraceOp], start: usize, end: usize) {
         if start == end {
             return;
         }
         self.stats.windows += 1;
         self.stats.contained_ops += (end - start) as u64;
-        if self.ranges.len() == 1 || end - start < self.parallel_threshold {
+        if end - start < self.parallel_threshold {
             self.machine.replay(&ops[start..end]);
             return;
         }
@@ -340,50 +623,67 @@ impl ShardedMachine {
             self.op_buckets[shard].push(((start + i) as u64, *op));
         }
 
-        // One lane per shard; scoped threads drive the non-empty ones.
+        // Hand each shard its owned state chunk. The first non-empty
+        // bucket stays on the coordinator; the rest ship to parked
+        // workers. Empty-bucket chunks never leave the coordinator.
         let epoch = self.epochs.current().0;
-        let lanes = self.machine.shard_lanes(
-            &self.ranges,
-            epoch,
-            &mut self.shard_metrics,
-            &mut self.shard_scratch,
-            &mut self.shard_effects,
-        );
-        let buckets = &self.op_buckets;
-        std::thread::scope(|scope| {
-            let mut inline: Option<(crate::machine::Lanes<'_>, _)> = None;
-            for pair @ (_, bucket) in lanes.into_iter().zip(buckets) {
-                if bucket.is_empty() {
-                    continue;
-                }
-                // The first non-empty shard runs on the coordinator
-                // thread; the rest fan out.
-                if inline.is_none() {
-                    inline = Some(pair);
-                    continue;
-                }
-                let (mut lane, bucket) = pair;
-                scope.spawn(move || run_bucket(&mut lane, bucket));
+        let cfg = *self.machine.config();
+        self.machine.detach_shards(&self.ranges, &mut self.chunks);
+        let mut inline_shard = None;
+        let mut outstanding = 0usize;
+        for s in 0..self.ranges.len() {
+            if self.op_buckets[s].is_empty() {
+                continue;
             }
-            if let Some((mut lane, bucket)) = inline {
-                run_bucket(&mut lane, bucket);
+            if inline_shard.is_none() {
+                inline_shard = Some(s);
+                continue;
             }
-        });
+            let chunk = std::mem::take(&mut self.chunks[s]);
+            let bucket = std::mem::take(&mut self.op_buckets[s]);
+            self.pool.submit(Job {
+                cfg,
+                epoch,
+                homes: Arc::clone(&self.footprints),
+                chunk,
+                ops: bucket,
+                slot: s,
+                reply: self.reply_tx.clone(),
+            });
+            outstanding += 1;
+            self.stats.pool_jobs += 1;
+        }
+        if let Some(s) = inline_shard {
+            let mut lane = self.chunks[s].lanes(&cfg, &self.footprints, epoch);
+            run_bucket(&mut lane, &self.op_buckets[s]);
+        }
 
-        // Epoch barrier: replay buffered cross-shard directory effects
-        // in canonical (epoch, home, seq) order.
-        let mut effects: Vec<EffectMsg> = self
-            .shard_effects
-            .iter_mut()
-            .flat_map(|buf| buf.drain(..))
-            .collect();
+        // Epoch barrier: every chunk comes home, then buffered
+        // cross-shard directory effects replay in canonical
+        // (epoch, home, seq) order.
+        while outstanding > 0 {
+            let done = self.reply_rx.recv().expect("shard pool workers exited");
+            let (chunk, bucket) = done
+                .outcome
+                .unwrap_or_else(|()| panic!("shard worker panicked executing a window"));
+            self.chunks[done.slot] = chunk;
+            self.op_buckets[done.slot] = bucket;
+            outstanding -= 1;
+        }
+        self.machine.attach_shards(&mut self.chunks);
+
+        let effects = &mut self.effect_scratch;
+        effects.clear();
+        for chunk in &mut self.chunks {
+            effects.append(&mut chunk.effects);
+        }
         // Buffers drain at their own window's barrier, so a batch holds
         // exactly one epoch; the key's epoch component documents the
         // model rather than discriminating here.
         debug_assert!(effects.iter().all(|msg| msg.key.epoch == epoch));
         effects.sort_unstable_by_key(|msg| msg.key);
         self.stats.effects_applied += effects.len() as u64;
-        for msg in effects {
+        for msg in effects.drain(..) {
             self.machine.dir_mut(msg.key.home).apply(msg.effect);
         }
     }
@@ -396,8 +696,56 @@ impl ShardedMachine {
     /// Folds the shards' metric deltas into the machine's metrics, in
     /// canonical shard order.
     fn fold_shard_metrics(&mut self) {
-        for sm in &mut self.shard_metrics {
-            self.machine.metrics_mut().absorb(sm);
+        for chunk in &mut self.chunks {
+            self.machine.metrics_mut().absorb(&mut chunk.metrics);
+        }
+    }
+}
+
+/// Classifies one op, updating the page footprint and pre-resolving
+/// the page's home exactly as the serial fault would. A free function
+/// over the executor's split-borrowed fields so the scan loop holds
+/// one footprint borrow for the whole window.
+///
+/// The home resolution is sound to run at scan time: a page's first
+/// trace reference is necessarily its first machine-wide fault (an
+/// unhomed page cannot be mapped — or cached — anywhere), the scan
+/// visits references in trace order, and the scan never runs past a
+/// blocking op, so it cannot observe a not-yet-executed
+/// `ArmFirstTouch`.
+fn classify(
+    op: &TraceOp,
+    footprints: &mut Footprints,
+    machine: &mut Machine,
+    shard_of_node: &[u8],
+    cpus_per_node: u16,
+) -> Class {
+    match *op {
+        TraceOp::Think { .. } => Class::Contained,
+        TraceOp::Barrier | TraceOp::ArmFirstTouch => Class::Blocking,
+        TraceOp::Access { cpu, va, .. } => {
+            let node = (cpu.0 / cpus_per_node) as usize;
+            let shard = shard_of_node[node] as usize;
+            let bit = 1u32 << shard;
+            let page = va.vpage();
+            let info = if let Some(info) = footprints.pages.get_mut(page) {
+                info.shard_mask |= bit;
+                *info
+            } else {
+                let home = machine.pages_mut().home_on_touch(page, NodeId(node as u8));
+                let info = PageInfo {
+                    shard_mask: bit,
+                    home,
+                };
+                footprints.pages.insert(page, info);
+                info
+            };
+            let home_shard = shard_of_node[info.home.0 as usize] as usize;
+            if info.shard_mask == bit && home_shard == shard {
+                Class::Contained
+            } else {
+                Class::Blocking
+            }
         }
     }
 }
@@ -437,6 +785,12 @@ mod tests {
 
     fn config() -> MachineConfig {
         MachineConfig::paper_base(Protocol::paper_rnuma())
+    }
+
+    /// A pool that always has workers, so tests exercise the threaded
+    /// path even on single-core CI hosts.
+    fn test_pool() -> Arc<ShardPool> {
+        Arc::new(ShardPool::new(2))
     }
 
     /// A partitioned stream: each CPU walks pages in its own node's
@@ -481,7 +835,7 @@ mod tests {
         let ops = mixed_trace(192, 16);
         let serial = serial_replay_on(config(), &ops);
         for shards in [1usize, 2, 4, 8] {
-            let mut sm = ShardedMachine::new(config(), shards).unwrap();
+            let mut sm = ShardedMachine::with_pool(config(), shards, test_pool()).unwrap();
             sm.set_parallel_threshold(32); // exercise the threaded path
             sm.run_trace(&ops);
             assert!(
@@ -489,28 +843,91 @@ mod tests {
                 "{shards} shards diverged from serial:\nserial: {serial}\nsharded: {}",
                 sm.metrics()
             );
+            if shards > 1 {
+                assert!(
+                    sm.stats().pool_jobs > 0,
+                    "pool never engaged at {shards} shards: {:?}",
+                    sm.stats()
+                );
+            }
         }
+    }
+
+    #[test]
+    fn segmented_replay_matches_flat_replay() {
+        let ops = mixed_trace(96, 8);
+        let serial = serial_replay_on(config(), &ops);
+        // Segment the stream at an awkward boundary: windows must close
+        // early without changing results.
+        for seg_len in [37usize, 256, 5000] {
+            let mut sm = ShardedMachine::with_pool(config(), 4, test_pool()).unwrap();
+            sm.set_parallel_threshold(16);
+            sm.run_segments(ops.chunks(seg_len));
+            assert!(
+                serial.replay_eq(&sm.metrics()),
+                "segmented replay (len {seg_len}) diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_less_pool_runs_inline() {
+        let ops = mixed_trace(64, 0);
+        let serial = serial_replay_on(config(), &ops);
+        let pool = Arc::new(ShardPool::new(0));
+        assert_eq!(pool.workers(), 0);
+        let mut sm = ShardedMachine::with_pool(config(), 4, Arc::clone(&pool)).unwrap();
+        sm.set_parallel_threshold(1);
+        sm.run_trace(&ops);
+        assert!(serial.replay_eq(&sm.metrics()));
+        let stats = sm.stats();
+        assert_eq!(
+            (stats.windows, stats.parallel_windows),
+            (0, 0),
+            "zero workers must bypass the window scan entirely: {stats:?}"
+        );
+        assert_eq!(stats.serialized_ops, ops.len() as u64);
+        assert_eq!(pool.jobs_executed(), 0);
+    }
+
+    #[test]
+    fn one_pool_serves_many_machines() {
+        let pool = test_pool();
+        let ops = mixed_trace(64, 0);
+        let serial = serial_replay_on(config(), &ops);
+        for _ in 0..3 {
+            let mut sm = ShardedMachine::with_pool(config(), 4, Arc::clone(&pool)).unwrap();
+            sm.set_parallel_threshold(16);
+            sm.run_trace(&ops);
+            assert!(serial.replay_eq(&sm.metrics()));
+        }
+        assert!(
+            pool.jobs_executed() > 0,
+            "persistent pool should have executed jobs across machines"
+        );
     }
 
     #[test]
     fn single_shard_never_fans_out() {
         let ops = mixed_trace(64, 0);
-        let mut sm = ShardedMachine::new(config(), 1).unwrap();
+        let serial = serial_replay_on(config(), &ops);
+        let mut sm = ShardedMachine::with_pool(config(), 1, test_pool()).unwrap();
         sm.set_parallel_threshold(1);
         sm.run_trace(&ops);
         assert_eq!(sm.shards(), 1);
+        assert!(serial.replay_eq(&sm.metrics()));
         assert_eq!(
             sm.stats().parallel_windows,
             0,
             "one shard must stay on the coordinator thread"
         );
-        assert!(sm.stats().contained_ops > 0);
+        assert_eq!(sm.stats().serialized_ops, ops.len() as u64);
     }
 
     #[test]
     fn partitioned_trace_forms_large_windows() {
         let ops = mixed_trace(128, 0);
-        let mut sm = ShardedMachine::new(config(), 4).unwrap();
+        let mut sm = ShardedMachine::with_pool(config(), 4, test_pool()).unwrap();
         sm.set_parallel_threshold(64);
         sm.run_trace(&ops);
         let stats = sm.stats();
@@ -576,7 +993,7 @@ mod tests {
             });
         }
         let serial = serial_replay_on(config, &ops);
-        let mut sm = ShardedMachine::new(config, 4).unwrap();
+        let mut sm = ShardedMachine::with_pool(config, 4, test_pool()).unwrap();
         sm.set_parallel_threshold(8);
         sm.run_trace(&ops);
         assert!(

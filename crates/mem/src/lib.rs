@@ -18,6 +18,8 @@
 //!   CC-NUMA, or S-COMA modes.
 //! * [`fxmap`] — the open-addressed, deterministic FxHash tables every
 //!   hot-path lookup structure above is built on.
+//! * [`paged`] — the dense-per-page block-state map the home directory
+//!   uses: one page-level hash probe, then a flat array index.
 //!
 //! Everything here is *state only*: the simulator never materializes data
 //! values, exactly like a protocol-level execution-driven simulator. The
@@ -37,6 +39,7 @@ pub mod l1;
 pub mod moesi;
 pub mod page_cache;
 pub mod page_table;
+pub mod paged;
 
 pub use addr::{CpuId, FrameId, NodeId, NodeMask, VBlock, VPage, Va};
 pub use block_cache::{BlockCache, BlockEviction, BlockState};
@@ -46,3 +49,4 @@ pub use l1::{L1Cache, L1Probe};
 pub use moesi::Moesi;
 pub use page_cache::{PageCache, PageVictim, ReplacementPolicy};
 pub use page_table::{Mapping, NodePageTable};
+pub use paged::PagedMap;

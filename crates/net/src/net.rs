@@ -154,6 +154,34 @@ impl Network {
         }
     }
 
+    /// Detaches every node's NI state, leaving the network empty until
+    /// [`Network::put_nis`] restores it. This is the ownership-handoff
+    /// primitive behind the persistent shard worker pool: the executor
+    /// moves each shard's `NodeNi`s into an owned chunk, ships the chunk
+    /// to a parked worker, and moves the state back at the epoch
+    /// barrier — no borrows cross threads.
+    ///
+    /// While detached, every message operation panics (there are no
+    /// nodes); callers must restore the state before using the network.
+    #[must_use]
+    pub fn take_nis(&mut self) -> Vec<NodeNi> {
+        std::mem::take(&mut self.nis)
+    }
+
+    /// Restores NI state previously removed with [`Network::take_nis`]
+    /// (in the same node order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is not currently empty.
+    pub fn put_nis(&mut self, nis: Vec<NodeNi>) {
+        assert!(
+            self.nis.is_empty(),
+            "put_nis on a network that still owns NI state"
+        );
+        self.nis = nis;
+    }
+
     /// Splits the network into disjoint windows, one per node range.
     ///
     /// # Panics
@@ -244,7 +272,15 @@ pub struct NetWindow<'a> {
     nis: &'a mut [NodeNi],
 }
 
-impl NetWindow<'_> {
+impl<'a> NetWindow<'a> {
+    /// A window over externally owned NI state (e.g. a shard chunk that
+    /// was detached with [`Network::take_nis`]), covering absolute node
+    /// ids `base..base + nis.len()`.
+    #[must_use]
+    pub fn over(config: NetConfig, base: usize, nis: &'a mut [NodeNi]) -> NetWindow<'a> {
+        NetWindow { config, base, nis }
+    }
+
     fn ni_mut(&mut self, node: NodeId) -> &mut NodeNi {
         let idx = (node.0 as usize)
             .checked_sub(self.base)
@@ -402,6 +438,33 @@ mod tests {
             assert_eq!(p, Cycles(108));
         }
         assert_eq!(n.total_sends(), 3);
+    }
+
+    #[test]
+    fn detached_nis_drive_windows_and_reattach() {
+        let mut n = net();
+        n.send(Cycles(0), NodeId(4), NodeId(5), MsgKind::GetShared);
+        let mut nis = n.take_nis();
+        {
+            let (head, tail) = nis.split_at_mut(4);
+            let mut w0 = NetWindow::over(NetConfig::default(), 0, head);
+            let mut w1 = NetWindow::over(NetConfig::default(), 4, tail);
+            // The detached state carries the earlier send's occupancy.
+            let t = w1.send(Cycles(0), NodeId(4), NodeId(5), MsgKind::GetShared);
+            assert_eq!(t, Cycles(112));
+            // Posted messages may leave the window, as in shard lanes.
+            let p = w0.post(Cycles(0), NodeId(0), NodeId(7), MsgKind::WriteBack);
+            assert_eq!(p, Cycles(108));
+        }
+        n.put_nis(nis);
+        assert_eq!(n.total_sends(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "still owns NI state")]
+    fn double_attach_panics() {
+        let mut n = net();
+        n.put_nis(vec![]);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! (owner fetch, invalidations) to charge and perform.
 
 use rnuma_mem::addr::{NodeId, NodeMask, VBlock, VPage};
-use rnuma_mem::fxmap::FxMap;
+use rnuma_mem::paged::PagedMap;
 
 /// Directory record for one block.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -80,7 +80,11 @@ pub struct WriteOutcome {
 #[derive(Clone, Debug)]
 pub struct Directory {
     home: NodeId,
-    entries: FxMap<VBlock, Entry>,
+    /// Per-block records in a paged dense array: directory traffic
+    /// clusters within pages (fetch/flush/relocation walk a page's
+    /// blocks back to back), so one page-level hash probe plus a dense
+    /// index beats a per-block hash probe.
+    entries: PagedMap<Entry>,
     reads: u64,
     writes: u64,
     refetches: u64,
@@ -92,7 +96,7 @@ impl Directory {
     pub fn new(home: NodeId) -> Directory {
         Directory {
             home,
-            entries: FxMap::new(),
+            entries: PagedMap::new(),
             reads: 0,
             writes: 0,
             refetches: 0,
@@ -231,10 +235,10 @@ impl Directory {
         self.entries.len()
     }
 
-    /// Iterates over the entries of one page (diagnostics).
+    /// Iterates over the entries of one page (diagnostics), in ascending
+    /// block order.
     pub fn page_entries(&self, page: VPage) -> impl Iterator<Item = (VBlock, Entry)> + '_ {
-        page.blocks()
-            .filter_map(|b| self.entries.get(b).map(|&e| (b, e)))
+        self.entries.page_entries(page).map(|(b, &e)| (b, e))
     }
 }
 

@@ -2,11 +2,16 @@
 //! machines — ideal, CC-NUMA, S-COMA, R-NUMA — and prints the
 //! Figure-6-style normalized comparison plus traffic counters.
 //!
+//! Uses the trace-once/replay-many sweep driver
+//! (`rnuma::experiment::run_sweep`): the application executes once, on
+//! the ideal baseline, and the captured reference stream replays
+//! against the three finite machines (see `docs/SWEEP.md`).
+//!
 //! Run with:
 //! `cargo run --release -p rnuma-bench --example protocol_shootout -- [app] [tiny|small|paper]`
 
 use rnuma::config::{MachineConfig, Protocol};
-use rnuma::experiment::run;
+use rnuma::experiment::run_sweep;
 use rnuma_workloads::{by_name, Scale, APP_NAMES};
 
 fn main() {
@@ -23,23 +28,25 @@ fn main() {
     );
 
     println!("{app} at {scale:?} scale on the paper's base machines\n");
-    let mut baseline = None;
     println!(
         "{:38} {:>12} {:>7} {:>9} {:>9} {:>7} {:>7}",
         "machine", "cycles", "norm", "fetches", "refetch", "reloc", "repl"
     );
-    for protocol in [
+    let configs = [
         Protocol::ideal(),
         Protocol::paper_ccnuma(),
         Protocol::paper_scoma(),
         Protocol::paper_rnuma(),
-    ] {
-        let mut w = by_name(app, scale).expect("validated above");
-        let report = run(MachineConfig::paper_base(protocol), &mut w);
-        let base = *baseline.get_or_insert(report.cycles() as f64);
+    ]
+    .map(MachineConfig::paper_base);
+    let mut w = by_name(app, scale).expect("validated above");
+    // One execution, three replays: every machine sees the same stream.
+    let reports = run_sweep(&configs, &mut w);
+    let base = reports[0].cycles() as f64;
+    for report in &reports {
         println!(
             "{:38} {:12} {:7.2} {:9} {:9} {:7} {:7}",
-            protocol.to_string(),
+            report.config.protocol.to_string(),
             report.cycles(),
             report.cycles() as f64 / base,
             report.metrics.remote_fetches,

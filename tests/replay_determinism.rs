@@ -1,0 +1,138 @@
+//! The determinism contract of the trace-once/replay-many sweep
+//! driver: every cell a sweep produces is **bit-identical** to a serial
+//! `Machine::replay` of the captured stream on that cell's
+//! configuration — across the paper's entire figure grid, through the
+//! interned `TraceStore` arena, and through the pool-backed sharded
+//! executor at any shard count.
+//!
+//! See `docs/SWEEP.md` for the model these tests enforce and
+//! `docs/DETERMINISM.md` for the underlying epoch/effect-ordering
+//! argument. The `RNUMA_SHARDS`/`RNUMA_JOBS` environment combinations
+//! are covered in `tests/sharded_env.rs` (environment mutation needs
+//! its own process).
+
+use rnuma::config::{MachineConfig, Protocol};
+use rnuma::experiment::TraceStore;
+use rnuma::shard::ShardedMachine;
+use rnuma_bench::sweep_grid;
+use rnuma_workloads::{by_name, Scale, APP_NAMES};
+use std::sync::Arc;
+
+#[path = "support.rs"]
+mod support;
+use support::forced_pool;
+
+/// The Figure-6 configuration axis: capture on the ideal baseline,
+/// replay on the three finite protocols.
+fn figure_configs() -> [MachineConfig; 4] {
+    [
+        MachineConfig::paper_base(Protocol::ideal()),
+        MachineConfig::paper_base(Protocol::paper_ccnuma()),
+        MachineConfig::paper_base(Protocol::paper_scoma()),
+        MachineConfig::paper_base(Protocol::paper_rnuma()),
+    ]
+}
+
+/// The full figure grid through the real driver (`sweep_grid`): every
+/// cell must be bit-identical to an independently captured and
+/// serially replayed stream — the serial path of the sweep model.
+#[test]
+fn sweep_grid_cells_are_bit_identical_to_serial_replay() {
+    let configs = figure_configs();
+    let rows = sweep_grid(&APP_NAMES, &configs, Scale::Tiny);
+    assert_eq!(rows.len(), APP_NAMES.len());
+    for (&app, row) in APP_NAMES.iter().zip(&rows) {
+        assert_eq!(row.len(), configs.len());
+        let mut store = TraceStore::new();
+        let mut w = by_name(app, Scale::Tiny).expect("known app");
+        let (id, capture) = store.capture(configs[0], &mut w);
+        assert!(
+            capture.metrics.replay_eq(&row[0].metrics),
+            "{app}: sweep capture cell diverged from a fresh capture"
+        );
+        for (c, &config) in configs.iter().enumerate().skip(1) {
+            let serial = store.replay_serial(id, config);
+            assert!(
+                serial.metrics.replay_eq(&row[c].metrics),
+                "{app} on {}: sweep cell diverged from serial replay\n\
+                 serial: {}\nsweep:  {}",
+                config.protocol,
+                serial.metrics,
+                row[c].metrics
+            );
+        }
+    }
+}
+
+/// Replay cells shard deterministically: the pool-backed sharded
+/// executor replaying straight from the interned arena's segments is
+/// bit-identical to the serial replay, for every configuration of the
+/// axis and several shard counts.
+#[test]
+fn replayed_cells_shard_deterministically_on_the_pool() {
+    let pool = forced_pool();
+    let configs = figure_configs();
+    for app in ["em3d", "lu", "moldyn"] {
+        let mut store = TraceStore::new();
+        let mut w = by_name(app, Scale::Tiny).expect("known app");
+        let (id, _) = store.capture(configs[0], &mut w);
+        for &config in &configs {
+            let serial = store.replay_serial(id, config);
+            for shards in [2usize, 4] {
+                let mut sm = ShardedMachine::with_pool(config, shards, Arc::clone(&pool))
+                    .expect("valid config");
+                sm.set_parallel_threshold(64);
+                sm.run_segments(store.segments(id));
+                assert!(
+                    serial.metrics.replay_eq(&sm.metrics()),
+                    "{app} on {} diverged at {shards} shards\n\
+                     serial:  {}\nsharded: {}",
+                    config.protocol,
+                    serial.metrics,
+                    sm.metrics()
+                );
+            }
+        }
+    }
+    assert!(
+        pool.jobs_executed() > 0,
+        "the forced pool must actually have executed window jobs"
+    );
+}
+
+/// Interning is invisible to replay: an interned store and a raw store
+/// holding the same stream replay bit-identically on every
+/// configuration.
+#[test]
+fn interned_and_raw_stores_replay_identically() {
+    let configs = figure_configs();
+    let mut w = by_name("radix", Scale::Tiny).expect("known app");
+    let (_, trace) = rnuma::experiment::run_traced(configs[0], &mut w);
+    let mut interned = TraceStore::new();
+    let mut raw = TraceStore::raw();
+    let a = interned.insert("radix", configs[0], &trace);
+    let b = raw.insert("radix", configs[0], &trace);
+    assert_eq!(interned.ops(a), raw.ops(b));
+    assert!(interned.stored_ops() <= raw.stored_ops());
+    for &config in &configs {
+        let ra = interned.replay_serial(a, config);
+        let rb = raw.replay_serial(b, config);
+        assert!(
+            ra.metrics.replay_eq(&rb.metrics),
+            "interned vs raw replay diverged on {}",
+            config.protocol
+        );
+    }
+}
+
+/// A one-configuration sweep (what fig5/table4-style binaries run) is
+/// just the capture cell, and still matches a plain execution-driven
+/// run bit-for-bit.
+#[test]
+fn single_config_sweep_equals_direct_run() {
+    let config = MachineConfig::paper_base(Protocol::paper_ccnuma());
+    let rows = sweep_grid(&["barnes"], &[config], Scale::Tiny);
+    let mut w = by_name("barnes", Scale::Tiny).expect("known app");
+    let direct = rnuma::experiment::run(config, &mut w);
+    assert!(rows[0][0].metrics.replay_eq(&direct.metrics));
+}

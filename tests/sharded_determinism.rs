@@ -14,12 +14,18 @@ use rnuma::Machine;
 use rnuma_mem::addr::{CpuId, Va};
 use rnuma_workloads::{by_name, Scale, APP_NAMES};
 
+#[path = "support.rs"]
+mod support;
+use support::forced_pool;
+
 fn assert_sharded_matches_serial(app: &str, protocol: Protocol, shard_counts: &[usize]) {
     let config = MachineConfig::paper_base(protocol);
     let mut w = by_name(app, Scale::Tiny).expect("known app");
     let (report, trace) = run_traced(config, &mut w);
     for &shards in shard_counts {
-        let mut sharded = ShardedMachine::new(config, shards).expect("valid config");
+        let mut sharded =
+            ShardedMachine::with_pool(config, shards, forced_pool()).expect("valid config");
+        sharded.set_parallel_threshold(64);
         sharded.run_trace(&trace);
         assert!(
             report.metrics.replay_eq(&sharded.metrics()),
@@ -114,7 +120,8 @@ proptest! {
         serial.replay(&ops);
         let reference = serial.metrics();
         for shards in [1usize, 2, 4] {
-            let mut sm = ShardedMachine::new(config, shards).expect("valid config");
+            let mut sm =
+                ShardedMachine::with_pool(config, shards, forced_pool()).expect("valid config");
             sm.set_parallel_threshold(16);
             sm.run_trace(&ops);
             prop_assert!(

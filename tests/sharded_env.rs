@@ -8,16 +8,25 @@
 use rnuma::config::{MachineConfig, Protocol};
 use rnuma::experiment::{run, run_env_sharded, run_parallel};
 use rnuma::shard::shards_from_env;
+use rnuma_bench::sweep_grid;
 use rnuma_workloads::{by_name, Scale};
 
-fn with_env<R>(value: Option<&str>, body: impl FnOnce() -> R) -> R {
+fn with_var<R>(name: &str, value: Option<&str>, body: impl FnOnce() -> R) -> R {
     match value {
-        Some(v) => std::env::set_var("RNUMA_SHARDS", v),
-        None => std::env::remove_var("RNUMA_SHARDS"),
+        Some(v) => std::env::set_var(name, v),
+        None => std::env::remove_var(name),
     }
     let out = body();
-    std::env::remove_var("RNUMA_SHARDS");
+    std::env::remove_var(name);
     out
+}
+
+fn with_env<R>(value: Option<&str>, body: impl FnOnce() -> R) -> R {
+    with_var("RNUMA_SHARDS", value, body)
+}
+
+fn with_jobs<R>(value: Option<&str>, body: impl FnOnce() -> R) -> R {
+    with_var("RNUMA_JOBS", value, body)
 }
 
 /// The tests share one process, so environment mutation must be
@@ -54,4 +63,30 @@ fn rnuma_shards_routing() {
 
     // Nonsense values mean "no sharding", not a crash.
     with_env(Some("banana"), || assert_eq!(shards_from_env(), None));
+
+    // The trace-once/replay-many sweep driver honors the same
+    // environment: every (RNUMA_JOBS, RNUMA_SHARDS) combination must
+    // reproduce the env-free sweep bit-for-bit, with RNUMA_SHARDS>1
+    // additionally self-checking each replay cell on the pool-backed
+    // sharded executor.
+    let configs = [
+        MachineConfig::paper_base(Protocol::ideal()),
+        MachineConfig::paper_base(Protocol::paper_rnuma()),
+    ];
+    let reference = sweep_grid(&["em3d"], &configs, Scale::Tiny);
+    for (jobs, shards) in [
+        (Some("1"), Some("4")),
+        (Some("2"), Some("2")),
+        (Some("2"), None),
+    ] {
+        let rows = with_jobs(jobs, || {
+            with_env(shards, || sweep_grid(&["em3d"], &configs, Scale::Tiny))
+        });
+        for (r, b) in rows[0].iter().zip(&reference[0]) {
+            assert!(
+                r.metrics.replay_eq(&b.metrics),
+                "sweep diverged under RNUMA_JOBS={jobs:?} RNUMA_SHARDS={shards:?}"
+            );
+        }
+    }
 }

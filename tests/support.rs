@@ -1,0 +1,13 @@
+//! Helpers shared by the workspace determinism suites, included per
+//! test binary via `#[path = "support.rs"] mod support;`.
+
+use rnuma::shard::ShardPool;
+use std::sync::{Arc, OnceLock};
+
+/// A pool that always has workers, so the suites exercise the pooled
+/// (threaded) executor even on single-core CI hosts, where the shared
+/// pool would fall back to inline serial replay.
+pub fn forced_pool() -> Arc<ShardPool> {
+    static POOL: OnceLock<Arc<ShardPool>> = OnceLock::new();
+    Arc::clone(POOL.get_or_init(|| Arc::new(ShardPool::new(2))))
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Docs link check: every repository-relative path referenced from the
+# documentation surface must exist. Catches docs that drift from the
+# tree (renamed tests, moved modules, deleted files).
+#
+# Checked references:
+#   * markdown links  [text](path)  with a relative path (no scheme);
+#   * backticked repo paths like `crates/core/src/shard.rs`,
+#     `docs/SWEEP.md`, `tools/...`, `tests/...`, `examples/...`,
+#     `.github/...` (directories may end with `/` or `...`).
+#     `results/...` is exempt: it is generated at runtime and
+#     git-ignored, so a fresh checkout legitimately lacks it.
+#
+# Usage: tools/check_doc_links.sh [file.md ...]
+# With no arguments, checks the repo's documentation surface.
+
+set -u
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+    files=(README.md ARCHITECTURE.md RESULTS.md ROADMAP.md docs/*.md)
+fi
+
+fail=0
+
+check() {
+    local doc="$1" ref="$2"
+    # Strip anchors and trailing ellipsis/slash.
+    ref="${ref%%#*}"
+    ref="${ref%...}"
+    ref="${ref%/}"
+    [ -z "$ref" ] && return
+    # Resolve relative to the referencing document's directory first
+    # (markdown-link semantics), then the repo root (prose convention).
+    local base
+    base="$(dirname "$doc")"
+    if [ ! -e "$base/$ref" ] && [ ! -e "$ref" ]; then
+        echo "BROKEN: $doc -> $ref"
+        fail=1
+    fi
+}
+
+for doc in "${files[@]}"; do
+    [ -f "$doc" ] || { echo "BROKEN: missing doc $doc"; fail=1; continue; }
+    # 1. Markdown links with relative targets.
+    while IFS= read -r ref; do
+        case "$ref" in
+            http://*|https://*|mailto:*|results/*) ;;
+            *) check "$doc" "$ref" ;;
+        esac
+    done < <(grep -oE '\]\(([^)]+)\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+    # 2. Backticked repo paths (known top-level roots only, so prose
+    #    like `config.rs` or glob examples don't false-positive).
+    while IFS= read -r ref; do
+        case "$ref" in
+            *'*'*) ;; # globs like crates/shims/{...} or wildcards
+            *'{'*) ;;
+            *) check "$doc" "$ref" ;;
+        esac
+    done < <(grep -oE '`(crates|docs|tools|tests|examples|\.github)/[^` ]*`' "$doc" | tr -d '`')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs link check FAILED"
+    exit 1
+fi
+echo "docs link check OK (${#files[@]} files)"
