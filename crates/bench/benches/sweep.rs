@@ -2,8 +2,13 @@
 //!
 //! Measures a real multi-application, multi-configuration sweep three
 //! ways — through the shared `TraceStore` driver, with per-cell
-//! capture, and as plain execution-driven runs — and records the
-//! amortization in `results/BENCH_sweep.json`.
+//! capture, and as plain execution-driven runs — plus the batched
+//! replay engine in isolation (batched vs. per-op replay of the same
+//! cells), and records everything in `results/BENCH_sweep.json`.
+//!
+//! With `RNUMA_SWEEP_GATE` set (CI does), the run **fails** when the
+//! batched-vs-per-op replay speedup falls more than 10% below the
+//! committed baseline (`crates/bench/baselines/BENCH_sweep.json`).
 //!
 //! Run with: `cargo bench -p rnuma-bench --bench sweep`
 
@@ -51,6 +56,18 @@ fn main() {
         lane.speedup_vs_direct()
     );
 
+    println!(
+        "  batched replay     {:>8.1} ms/pass ({:.1}M ops/s over {} replayed ops)",
+        lane.replay_secs * 1e3,
+        lane.replay_ops_per_sec() / 1e6,
+        lane.replay_ops
+    );
+    println!(
+        "  per-op replay      {:>8.1} ms/pass (batched is {:.2}x faster)",
+        lane.perop_replay_secs * 1e3,
+        lane.batched_speedup_vs_perop()
+    );
+
     let target = 1.3;
     if lane.speedup_vs_percell_capture() >= target {
         println!(
@@ -62,6 +79,30 @@ fn main() {
             "sweep acceptance: BELOW TARGET ({:.2}x < {target}x) — check host load",
             lane.speedup_vs_percell_capture()
         );
+    }
+
+    // The replay regression gate: always reported, fatal under
+    // RNUMA_SWEEP_GATE (the CI sweep step sets it). A missing or
+    // field-less baseline is a *disarmed* gate and fails the same way —
+    // otherwise losing the committed file would turn the lane into a
+    // permanent green no-op.
+    let gated = std::env::var_os("RNUMA_SWEEP_GATE").is_some();
+    let verdict = match sweep::committed_baseline() {
+        Some(baseline) => sweep::gate_against(&lane, &baseline),
+        None => Err("replay gate: committed baseline \
+                     crates/bench/baselines/BENCH_sweep.json is missing — the gate cannot arm"
+            .into()),
+    };
+    match verdict {
+        Ok(line) => println!("{line}"),
+        Err(line) => {
+            eprintln!("{line}");
+            if gated {
+                lane.emit();
+                std::process::exit(1);
+            }
+            println!("(non-fatal: RNUMA_SWEEP_GATE is unset)");
+        }
     }
 
     lane.emit();

@@ -15,9 +15,17 @@
 //!   (it pays workload generation per cell but never materializes a
 //!   trace).
 //!
+//! * **replay throughput** — the batched replay engine in isolation:
+//!   the non-capture cells replayed from the interned store (batched,
+//!   pre-split run tables) against the same cells through the per-op
+//!   `Machine::replay` reference. The batched-vs-per-op speedup is the
+//!   host-independent gate CI enforces (`RNUMA_SWEEP_GATE`).
+//!
 //! Results land in `results/BENCH_sweep.json` so subsequent PRs have a
-//! sweep-throughput trajectory; the acceptance gate is the
-//! sweep-vs-per-cell-capture speedup.
+//! sweep-throughput trajectory; the acceptance gates are the
+//! sweep-vs-per-cell-capture speedup and the batched-vs-per-op replay
+//! speedup against the committed baseline
+//! (`crates/bench/baselines/BENCH_sweep.json`).
 
 use rnuma::config::MachineConfig;
 use rnuma::experiment::{run, run_replayed, run_traced, TraceStore};
@@ -43,6 +51,12 @@ pub struct SweepLane {
     pub percell_secs: f64,
     /// Seconds per full sweep of plain execution-driven runs.
     pub direct_secs: f64,
+    /// Ops replayed per replay-only pass (all non-capture cells).
+    pub replay_ops: u64,
+    /// Seconds per replay-only pass through the batched loop.
+    pub replay_secs: f64,
+    /// Seconds per replay-only pass through the per-op reference path.
+    pub perop_replay_secs: f64,
 }
 
 impl SweepLane {
@@ -56,6 +70,20 @@ impl SweepLane {
     #[must_use]
     pub fn speedup_vs_direct(&self) -> f64 {
         self.direct_secs / self.sweep_secs
+    }
+
+    /// Batched replay throughput, in trace ops per second.
+    #[must_use]
+    pub fn replay_ops_per_sec(&self) -> f64 {
+        self.replay_ops as f64 / self.replay_secs
+    }
+
+    /// Batched-vs-per-op replay speedup — host-independent (both sides
+    /// run on the same machine in the same process), so it is the
+    /// number the CI regression gate compares across commits.
+    #[must_use]
+    pub fn batched_speedup_vs_perop(&self) -> f64 {
+        self.perop_replay_secs / self.replay_secs
     }
 
     /// Capture-stream compression from segment interning (1.0 = none).
@@ -90,8 +118,21 @@ impl SweepLane {
         );
         let _ = writeln!(
             s,
-            "  \"speedup_vs_direct_run\": {:.2}",
+            "  \"speedup_vs_direct_run\": {:.2},",
             self.speedup_vs_direct()
+        );
+        let _ = writeln!(s, "  \"replay_ops\": {},", self.replay_ops);
+        let _ = writeln!(s, "  \"replay_secs\": {:.4},", self.replay_secs);
+        let _ = writeln!(s, "  \"perop_replay_secs\": {:.4},", self.perop_replay_secs);
+        let _ = writeln!(
+            s,
+            "  \"replay_ops_per_sec\": {:.0},",
+            self.replay_ops_per_sec()
+        );
+        let _ = writeln!(
+            s,
+            "  \"batched_speedup_vs_perop\": {:.3}",
+            self.batched_speedup_vs_perop()
         );
         s.push('}');
         s
@@ -108,18 +149,24 @@ impl SweepLane {
     }
 }
 
-/// Times `pass` (a full sweep in one of the three modes) until at least
-/// ~0.2 s of work has accumulated, returning seconds per pass.
-fn time_passes(mut pass: impl FnMut()) -> f64 {
+/// Times `pass` (a full sweep in one of the measured modes) until at
+/// least `budget` seconds of work have accumulated, returning seconds
+/// per pass.
+fn time_passes_for(budget: f64, mut pass: impl FnMut()) -> f64 {
     let mut passes = 0u32;
     let mut total = 0.0f64;
-    while total < 0.2 {
+    while total < budget {
         let t0 = Instant::now();
         pass();
         total += t0.elapsed().as_secs_f64();
         passes += 1;
     }
     total / f64::from(passes)
+}
+
+/// [`time_passes_for`] with the default ~0.2 s budget.
+fn time_passes(pass: impl FnMut()) -> f64 {
+    time_passes_for(0.2, pass)
 }
 
 /// One sweep pass through the trace-once/replay-many driver. Returns
@@ -168,7 +215,8 @@ fn direct_pass(apps: &[&'static str], configs: &[MachineConfig], scale: Scale) {
     std::hint::black_box(sink);
 }
 
-/// Measures the three sweep modes on `apps` × `configs` at `scale`.
+/// Measures the sweep modes and the replay engine on `apps` × `configs`
+/// at `scale`.
 ///
 /// # Panics
 ///
@@ -182,6 +230,49 @@ pub fn measure(apps: &[&'static str], configs: &[MachineConfig], scale: Scale) -
     });
     let percell_secs = time_passes(|| percell_pass(apps, configs, scale));
     let direct_secs = time_passes(|| direct_pass(apps, configs, scale));
+
+    // Replay-engine isolation: capture once outside the timers, then
+    // time only the non-capture cells — batched (the production path,
+    // consuming the store's pre-split run tables) against the per-op
+    // `Machine::replay` reference, on the same streams in the same
+    // process, so their ratio is host-independent.
+    let mut store = TraceStore::new();
+    let ids: Vec<_> = apps
+        .iter()
+        .map(|&app| {
+            let mut w = by_name(app, scale).unwrap_or_else(|| panic!("unknown app {app}"));
+            store.capture(configs[0], &mut w).0
+        })
+        .collect();
+    // The two replay lanes feed the CI regression gate, so they get a
+    // longer budget than the reporting-only lanes: their *ratio* must
+    // be stable against scheduler noise, not just indicative.
+    // `replay_serial`, not `run_replayed`: the latter adds a whole
+    // sharded self-check replay per cell when `RNUMA_SHARDS>1` is in
+    // the environment, which would distort the gated ratio and make
+    // the lane asymmetric with the per-op one below.
+    let replay_ops = store.captured_ops() * (configs.len() as u64 - 1);
+    let replay_secs = time_passes_for(0.6, || {
+        let mut sink = 0u64;
+        for &id in &ids {
+            for &config in &configs[1..] {
+                sink ^= store.replay_serial(id, config).cycles();
+            }
+        }
+        std::hint::black_box(sink);
+    });
+    let perop_replay_secs = time_passes_for(0.6, || {
+        let mut sink = 0u64;
+        for &id in &ids {
+            for &config in &configs[1..] {
+                let mut machine = Machine::new(config).expect("valid config");
+                machine.replay_segments(store.segments(id));
+                sink ^= machine.metrics().exec_cycles.0;
+            }
+        }
+        std::hint::black_box(sink);
+    });
+
     SweepLane {
         apps: apps.to_vec(),
         configs: configs.len(),
@@ -190,6 +281,79 @@ pub fn measure(apps: &[&'static str], configs: &[MachineConfig], scale: Scale) -
         sweep_secs,
         percell_secs,
         direct_secs,
+        replay_ops,
+        replay_secs,
+        perop_replay_secs,
+    }
+}
+
+/// Extracts a numeric field from a `BENCH_sweep.json`-style document
+/// (flat `"key": number` pairs; no nesting of the queried key). Only
+/// matches a key that begins its line (after whitespace or the opening
+/// brace), so the same text quoted inside an earlier string value —
+/// the baseline file carries a prose `note` — can never be parsed as
+/// the field.
+#[must_use]
+pub fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let mut search = 0usize;
+    while let Some(rel) = doc[search..].find(&pat) {
+        let at = search + rel;
+        let line_start = doc[..at].rfind('\n').map_or(0, |p| p + 1);
+        if doc[line_start..at]
+            .chars()
+            .all(|c| c.is_whitespace() || c == '{')
+        {
+            let rest = doc[at + pat.len()..].trim_start();
+            let end = rest
+                .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+                .unwrap_or(rest.len());
+            return rest[..end].parse().ok();
+        }
+        search = at + pat.len();
+    }
+    None
+}
+
+/// The committed replay-gate baseline
+/// (`crates/bench/baselines/BENCH_sweep.json`), if present.
+#[must_use]
+pub fn committed_baseline() -> Option<String> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("baselines")
+        .join("BENCH_sweep.json");
+    std::fs::read_to_string(path).ok()
+}
+
+/// The CI regression gate: compares the lane's batched-vs-per-op replay
+/// speedup against the committed baseline's. Returns `Err` with a
+/// human-readable message when the current run regresses by more than
+/// 10% (the host-independent ratio makes this meaningful across
+/// machines); `Ok` carries the comparison line to print.
+///
+/// # Errors
+///
+/// Returns `Err` when the measured speedup falls more than 10% below
+/// the committed baseline, or when the baseline document does not
+/// record one (a disarmed gate must fail loudly, not skip silently).
+pub fn gate_against(lane: &SweepLane, baseline_doc: &str) -> Result<String, String> {
+    let Some(baseline) = json_number(baseline_doc, "batched_speedup_vs_perop") else {
+        return Err(
+            "replay gate: baseline records no batched_speedup_vs_perop — the gate cannot arm"
+                .into(),
+        );
+    };
+    let current = lane.batched_speedup_vs_perop();
+    let floor = baseline * 0.9;
+    if current < floor {
+        Err(format!(
+            "replay gate: FAIL — batched-vs-per-op speedup {current:.3}x fell more than 10% \
+             below the recorded baseline {baseline:.3}x (floor {floor:.3}x)"
+        ))
+    } else {
+        Ok(format!(
+            "replay gate: PASS ({current:.3}x vs recorded baseline {baseline:.3}x, floor {floor:.3}x)"
+        ))
     }
 }
 
@@ -198,9 +362,8 @@ mod tests {
     use super::*;
     use rnuma::config::Protocol;
 
-    #[test]
-    fn json_shape_is_sane() {
-        let lane = SweepLane {
+    fn lane() -> SweepLane {
+        SweepLane {
             apps: vec!["em3d", "moldyn"],
             configs: 4,
             captured_ops: 1000,
@@ -208,13 +371,57 @@ mod tests {
             sweep_secs: 1.0,
             percell_secs: 2.0,
             direct_secs: 1.5,
-        };
+            replay_ops: 3000,
+            replay_secs: 0.5,
+            perop_replay_secs: 0.75,
+        }
+    }
+
+    #[test]
+    fn json_shape_is_sane() {
+        let lane = lane();
         let json = lane.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"cells\": 8"));
         assert!(json.contains("\"speedup_vs_percell_capture\": 2.00"));
         assert!(json.contains("\"speedup_vs_direct_run\": 1.50"));
+        assert!(json.contains("\"replay_ops_per_sec\": 6000"));
+        assert!(json.contains("\"batched_speedup_vs_perop\": 1.500"));
         assert!((lane.interning_ratio() - 1.25).abs() < 1e-12);
+        // The emitted document round-trips through the gate parser.
+        assert_eq!(json_number(&json, "batched_speedup_vs_perop"), Some(1.5));
+    }
+
+    #[test]
+    fn json_number_parses_flat_fields() {
+        let doc = "{\n  \"a\": 12,\n  \"b\": 0.125,\n  \"c\": -3.5\n}";
+        assert_eq!(json_number(doc, "a"), Some(12.0));
+        assert_eq!(json_number(doc, "b"), Some(0.125));
+        assert_eq!(json_number(doc, "c"), Some(-3.5));
+        assert_eq!(json_number(doc, "missing"), None);
+        // Single-line documents still parse (the key follows `{`).
+        assert_eq!(json_number("{\"a\": 7}", "a"), Some(7.0));
+    }
+
+    #[test]
+    fn json_number_ignores_keys_quoted_inside_string_values() {
+        // A prose note that quotes the field in JSON form must not be
+        // parsed as the field — only the real line-leading key counts.
+        let doc = "{\n  \"note\": \"set \\\"gate\\\": 9.9 to tune\",\n  \"gate\": 1.25\n}";
+        assert_eq!(json_number(doc, "gate"), Some(1.25));
+        let noteonly = "{\n  \"note\": \"mentions \\\"gate\\\": 9.9 only\"\n}";
+        assert_eq!(json_number(noteonly, "gate"), None);
+    }
+
+    #[test]
+    fn gate_passes_within_ten_percent_and_fails_below() {
+        let lane = lane(); // 1.5x batched-vs-per-op
+        assert!(gate_against(&lane, "{\"batched_speedup_vs_perop\": 1.55}").is_ok());
+        assert!(gate_against(&lane, "{\"batched_speedup_vs_perop\": 1.666}").is_ok());
+        assert!(gate_against(&lane, "{\"batched_speedup_vs_perop\": 1.7}").is_err());
+        // A baseline without the field is a disarmed gate: an error,
+        // never a silent skip.
+        assert!(gate_against(&lane, "{}").is_err());
     }
 
     #[test]

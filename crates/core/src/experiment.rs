@@ -38,7 +38,7 @@ use crate::config::MachineConfig;
 use crate::machine::Machine;
 use crate::metrics::Metrics;
 use crate::program::{Runner, Workload};
-use crate::shard::{shards_from_env, ShardPool, ShardedMachine, TraceOp};
+use crate::shard::{shards_from_env, split_cpu_runs, CpuRun, ShardPool, ShardedMachine, TraceOp};
 use rnuma_mem::fxmap::FxMap64;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -417,6 +417,11 @@ pub struct TraceStore {
     arena: Vec<TraceOp>,
     /// Segment id → `(start, len)` into the arena.
     segs: Vec<(u32, u32)>,
+    /// Segment id → its pre-split run table (contiguous same-CPU runs),
+    /// computed once at capture time so every replay of the segment
+    /// consumes the batched form directly. Interned segments share
+    /// their run table exactly like their payload.
+    seg_runs: Vec<Vec<CpuRun>>,
     /// Content hash → first segment id with that hash (interning).
     dedup: FxMap64<u32>,
     traces: Vec<TraceRec>,
@@ -438,6 +443,7 @@ impl TraceStore {
         TraceStore {
             arena: Vec::new(),
             segs: Vec::new(),
+            seg_runs: Vec::new(),
             dedup: FxMap64::new(),
             traces: Vec::new(),
             interning: true,
@@ -524,6 +530,7 @@ impl TraceStore {
         self.arena.extend_from_slice(chunk);
         let seg = u32::try_from(self.segs.len()).expect("segment count overflow");
         self.segs.push((start, chunk.len() as u32));
+        self.seg_runs.push(split_cpu_runs(chunk));
         seg
     }
 
@@ -539,6 +546,16 @@ impl TraceStore {
     /// The stream's segments, in replay order.
     pub fn segments(&self, id: TraceId) -> impl Iterator<Item = &[TraceOp]> + '_ {
         self.rec(id).segs.iter().map(move |&seg| self.segment(seg))
+    }
+
+    /// The stream's segments paired with their pre-split run tables, in
+    /// replay order — the form [`Machine::replay_segment`] consumes
+    /// directly (no per-replay re-scan for same-CPU runs).
+    pub fn batches(&self, id: TraceId) -> impl Iterator<Item = (&[TraceOp], &[CpuRun])> + '_ {
+        self.rec(id)
+            .segs
+            .iter()
+            .map(move |&seg| (self.segment(seg), self.seg_runs[seg as usize].as_slice()))
     }
 
     /// Number of operations in the stream.
@@ -579,7 +596,10 @@ impl TraceStore {
 
     /// Replays the stream serially on a fresh machine built from
     /// `config`, returning its report. This is the *serial path* every
-    /// other replay mode is bit-identical to.
+    /// other replay mode is bit-identical to; it runs through the
+    /// batched loop ([`Machine::replay_segment`], consuming the
+    /// pre-split run tables), which `tests/batched_replay.rs` proves
+    /// bit-identical to the per-op [`Machine::replay`] reference.
     ///
     /// `config` need not be the capture configuration — that is the
     /// point of a sweep — but it must describe the same cluster shape
@@ -598,7 +618,9 @@ impl TraceStore {
             "replay configuration must match the capture cluster shape"
         );
         let mut machine = Machine::new(config).expect("experiment configs must be valid");
-        machine.replay_segments(self.segments(id));
+        for (ops, runs) in self.batches(id) {
+            machine.replay_segment(ops, runs);
+        }
         RunReport {
             workload: rec.workload,
             protocol: config.protocol.label(),

@@ -38,7 +38,7 @@
 
 use crate::config::{MachineConfig, Protocol};
 use crate::metrics::Metrics;
-use crate::shard::{Footprints, TraceOp};
+use crate::shard::{CpuRun, Footprints, TraceOp};
 use rnuma_mem::addr::{CpuId, NodeId, VBlock, VPage, Va};
 use rnuma_mem::block_cache::{BlockCache, BlockEviction, BlockState};
 use rnuma_mem::fine_tags::AccessTag;
@@ -252,11 +252,7 @@ impl Machine {
         if let Some(t) = self.trace.as_mut() {
             t.push(TraceOp::Barrier);
         }
-        let max = self.clocks.iter().copied().fold(Cycles::ZERO, Cycles::max);
-        let after = max + self.cfg.barrier_cost;
-        for c in &mut self.clocks {
-            *c = after;
-        }
+        self.lanes().barrier_all();
     }
 
     /// Arms first-touch page placement (start of the parallel phase).
@@ -329,6 +325,48 @@ impl Machine {
         for seg in segments {
             self.replay(seg);
         }
+    }
+
+    /// Replays `ops` through the batched execution loop: one
+    /// construction of the crate-private `Lanes` walk engine for the
+    /// whole batch, with contiguous same-CPU runs
+    /// streamed through per-run hoisted state instead of per-op
+    /// dispatch. Bit-identical to the per-op [`Machine::replay`] of the
+    /// same ops — the contract `tests/batched_replay.rs` enforces.
+    ///
+    /// When the machine is recording a trace, the batch falls back to
+    /// the per-op path (which owns trace appends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an op references a CPU outside the machine.
+    pub fn apply_batch(&mut self, ops: &[TraceOp]) {
+        if self.trace.is_some() {
+            self.replay(ops);
+            return;
+        }
+        self.lanes().run_ops(ops);
+    }
+
+    /// Replays one trace segment through the batched loop, consuming a
+    /// pre-split run table (see
+    /// [`split_cpu_runs`](crate::shard::split_cpu_runs) and
+    /// `TraceStore::batches`) instead of re-scanning the ops for
+    /// same-CPU runs. Bit-identical to [`Machine::replay`] of `ops`.
+    ///
+    /// When the machine is recording a trace, the segment falls back to
+    /// the per-op path (which owns trace appends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an op references a CPU outside the machine, or if
+    /// `runs` does not tile `ops` exactly.
+    pub fn replay_segment(&mut self, ops: &[TraceOp], runs: &[CpuRun]) {
+        if self.trace.is_some() {
+            self.replay(ops);
+            return;
+        }
+        self.lanes().run_segment(ops, runs);
     }
 
     /// A snapshot of the run metrics so far (execution time fields are
@@ -535,6 +573,13 @@ impl Homes<'_> {
             Homes::Frozen(fp) => fp.home_of(page),
         }
     }
+
+    fn arm_first_touch(&mut self) {
+        match self {
+            Homes::Live(pm) => pm.arm_first_touch(),
+            Homes::Frozen(_) => unreachable!("first-touch arming inside a shard window"),
+        }
+    }
 }
 
 /// The reference-walk engine over one contiguous node range.
@@ -576,10 +621,6 @@ impl Lanes<'_> {
         idx >= self.node_base && idx - self.node_base < self.nodes.len()
     }
 
-    fn clock_of(&self, cpu: CpuId) -> Cycles {
-        self.clocks[cpu.0 as usize - self.cpu_base]
-    }
-
     fn node_of(&self, cpu: CpuId) -> usize {
         (cpu.0 / self.cfg.cpus_per_node) as usize
     }
@@ -599,9 +640,125 @@ impl Lanes<'_> {
     /// advancing the clock by the reference's latency, which is
     /// returned.
     pub(crate) fn access(&mut self, cpu: CpuId, va: Va, write: bool) -> Cycles {
-        let latency = self.do_access(cpu, va, write);
-        self.clocks[cpu.0 as usize - self.cpu_base] += latency;
+        let cpu_idx = cpu.0 as usize - self.cpu_base;
+        let node_idx = self.node_of(cpu);
+        let l1_idx = (cpu.0 % self.cfg.cpus_per_node) as usize;
+        self.metrics
+            .touch_page(va.vpage(), NodeId(node_idx as u8), write);
+        let latency = self.walk(cpu_idx, node_idx, l1_idx, va, write);
+        self.clocks[cpu_idx] += latency;
         latency
+    }
+
+    /// Synchronizes all CPUs at a barrier — the one implementation both
+    /// [`Machine::barrier_all`] and the batched replay loop run. Only
+    /// valid on a full-range lane; a shard lane barriering would
+    /// silently synchronize one shard's clocks against a shard-local
+    /// max, so the guard is a hard assert (barriers are rare — this is
+    /// nowhere near the hot path).
+    fn barrier_all(&mut self) {
+        assert!(
+            self.cpu_base == 0 && self.clocks.len() == self.cfg.total_cpus() as usize,
+            "barrier inside a shard window"
+        );
+        let max = self.clocks.iter().copied().fold(Cycles::ZERO, Cycles::max);
+        let after = max + self.cfg.barrier_cost;
+        for c in &mut *self.clocks {
+            *c = after;
+        }
+    }
+
+    /// Streams a batch of ops through this lane, grouping contiguous
+    /// same-CPU runs on the fly ([`crate::shard::scan_runs`], the same
+    /// rule the pre-split tables are built with). The whole-machine
+    /// equivalent of [`Lanes::run_segment`] when no run table exists.
+    fn run_ops(&mut self, ops: &[TraceOp]) {
+        crate::shard::scan_runs(ops, |issuer, range| match issuer {
+            Some(cpu) => self.access_run(cpu, &ops[range]),
+            None => self.run_global(&ops[range.start]),
+        });
+    }
+
+    /// Streams one segment through this lane, consuming its pre-split
+    /// run table (computed once at capture time by `TraceStore`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` does not tile `ops` exactly.
+    fn run_segment(&mut self, ops: &[TraceOp], runs: &[CpuRun]) {
+        let mut at = 0usize;
+        for run in runs {
+            match *run {
+                CpuRun::Cpu { cpu, len } => {
+                    let end = at + len as usize;
+                    self.access_run(cpu, &ops[at..end]);
+                    at = end;
+                }
+                CpuRun::Global => {
+                    self.run_global(&ops[at]);
+                    at += 1;
+                }
+            }
+        }
+        assert_eq!(at, ops.len(), "run table does not tile its segment");
+    }
+
+    /// Executes one global op (batched-loop dispatch).
+    fn run_global(&mut self, op: &TraceOp) {
+        match op {
+            TraceOp::Barrier => self.barrier_all(),
+            TraceOp::ArmFirstTouch => self.homes.arm_first_touch(),
+            TraceOp::Access { .. } | TraceOp::Think { .. } => {
+                unreachable!("per-CPU op dispatched as global")
+            }
+        }
+    }
+
+    /// Executes one contiguous same-CPU run of `Access`/`Think` ops with
+    /// the CPU-derived indices (clock slot, node, L1) hoisted out of the
+    /// per-op loop — the batched replay loop's inner kernel.
+    ///
+    /// Within the run, the per-reference page-profile touch is
+    /// coalesced: [`Metrics::touch_page`] is idempotent per
+    /// `(page, node, wrote)` triple, so a span of consecutive
+    /// same-page references pays its hash probe once for the span's
+    /// first reference (creating the profile at the same point in
+    /// execution order as the per-op path) plus once for its first
+    /// write — never once per op.
+    fn access_run(&mut self, cpu: CpuId, ops: &[TraceOp]) {
+        let cpu_idx = cpu.0 as usize - self.cpu_base;
+        let node_idx = self.node_of(cpu);
+        let node_id = NodeId(node_idx as u8);
+        let l1_idx = (cpu.0 % self.cfg.cpus_per_node) as usize;
+        // An unreachable page number (addresses are page-offset-shifted
+        // u64s, so their page indices never reach u64::MAX).
+        let mut span_page = VPage(u64::MAX);
+        let mut span_wrote = false;
+        for op in ops {
+            // A run table paired with the wrong segment of equal length
+            // would otherwise execute silently with every op charged to
+            // the hoisted run CPU.
+            debug_assert_eq!(op.issuer(), Some(cpu), "op outside its CPU run");
+            match *op {
+                TraceOp::Access { va, write, .. } => {
+                    let page = va.vpage();
+                    if page != span_page {
+                        span_page = page;
+                        span_wrote = write;
+                        self.metrics.touch_page(page, node_id, write);
+                    } else if write && !span_wrote {
+                        span_wrote = true;
+                        self.metrics.touch_page(page, node_id, true);
+                    }
+                    let latency = self.walk(cpu_idx, node_idx, l1_idx, va, write);
+                    self.clocks[cpu_idx] += latency;
+                }
+                TraceOp::Think { dur, .. } => self.clocks[cpu_idx] += dur,
+                TraceOp::Barrier | TraceOp::ArmFirstTouch => {
+                    unreachable!("global op inside a same-CPU run")
+                }
+            }
+        }
     }
 
     /// Posts an eviction write-back of `block` from `from` toward its
@@ -633,11 +790,21 @@ impl Lanes<'_> {
     // The reference walk.
     // ------------------------------------------------------------------
 
-    fn do_access(&mut self, cpu: CpuId, va: Va, write: bool) -> Cycles {
-        let start = self.clock_of(cpu);
-        let node_idx = self.node_of(cpu);
-        let node_id = NodeId(node_idx as u8);
-        let l1_idx = (cpu.0 % self.cfg.cpus_per_node) as usize;
+    /// The full reference walk, with the issuing CPU's derived indices
+    /// (clock slot, node, L1 slot) already resolved — callers hoist them
+    /// once per op ([`Lanes::access`]) or once per same-CPU run
+    /// ([`Lanes::access_run`]). Callers also own the page-profile touch
+    /// ([`Metrics::touch_page`]), which must precede the walk; the
+    /// batched loop coalesces it across same-page spans.
+    fn walk(
+        &mut self,
+        cpu_idx: usize,
+        node_idx: usize,
+        l1_idx: usize,
+        va: Va,
+        write: bool,
+    ) -> Cycles {
+        let start = self.clocks[cpu_idx];
         let block = va.vblock();
         let page = va.vpage();
 
@@ -646,7 +813,6 @@ impl Lanes<'_> {
         } else {
             self.metrics.reads += 1;
         }
-        self.metrics.touch_page(page, node_id, write);
 
         // 1. L1 probe (1 cycle).
         let probe = {
@@ -670,7 +836,6 @@ impl Lanes<'_> {
         // 2. Page translation. The per-CPU MRU entry short-circuits the
         //    table walk for repeated references to the same page; a soft
         //    fault maps the page on first touch.
-        let cpu_idx = cpu.0 as usize - self.cpu_base;
         let mru = self.mru[cpu_idx];
         let mapping = if mru.version == self.node(node_idx).pt.version() && mru.page == page {
             self.metrics.mru_translation_hits += 1;

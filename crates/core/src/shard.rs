@@ -101,6 +101,83 @@ pub enum TraceOp {
     ArmFirstTouch,
 }
 
+impl TraceOp {
+    /// The issuing CPU of a per-CPU op (`Access`/`Think`), or `None`
+    /// for a global op (`Barrier`/`ArmFirstTouch`). This is the key the
+    /// batched replay loop groups contiguous runs by.
+    #[must_use]
+    pub fn issuer(&self) -> Option<CpuId> {
+        match *self {
+            TraceOp::Access { cpu, .. } | TraceOp::Think { cpu, .. } => Some(cpu),
+            TraceOp::Barrier | TraceOp::ArmFirstTouch => None,
+        }
+    }
+}
+
+/// One entry of a segment's *run table*: the batched replay loop's unit
+/// of work. A run table tiles its segment exactly, in order; each entry
+/// is either a maximal run of consecutive per-CPU ops all issued by the
+/// same CPU, or a single global op.
+///
+/// `TraceStore` computes run tables once per interned segment at
+/// capture time ([`split_cpu_runs`]), so every replay of the segment —
+/// on any configuration — consumes the pre-split form directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CpuRun {
+    /// `len` consecutive `Access`/`Think` ops, all issued by `cpu`.
+    Cpu {
+        /// The run's issuing CPU.
+        cpu: CpuId,
+        /// Number of consecutive ops in the run (always at least 1).
+        len: u32,
+    },
+    /// One global op (`Barrier` or `ArmFirstTouch`).
+    Global,
+}
+
+/// Walks `ops` as its maximal runs, calling `f` once per run with the
+/// run's issuer (`None` for a single global op) and its index range.
+/// The one place the grouping rule lives: [`split_cpu_runs`] records
+/// the runs as a table, the batched replay loop
+/// (`Machine::apply_batch`) streams them directly.
+pub(crate) fn scan_runs(ops: &[TraceOp], mut f: impl FnMut(Option<CpuId>, Range<usize>)) {
+    let mut i = 0usize;
+    while i < ops.len() {
+        match ops[i].issuer() {
+            None => {
+                f(None, i..i + 1);
+                i += 1;
+            }
+            Some(cpu) => {
+                let start = i;
+                i += 1;
+                while i < ops.len() && ops[i].issuer() == Some(cpu) {
+                    i += 1;
+                }
+                f(Some(cpu), start..i);
+            }
+        }
+    }
+}
+
+/// Splits `ops` into its run table: maximal contiguous same-CPU runs,
+/// with each global op as its own entry. The returned entries tile
+/// `ops` exactly, in order (an empty slice yields an empty table).
+#[must_use]
+pub fn split_cpu_runs(ops: &[TraceOp]) -> Vec<CpuRun> {
+    let mut runs = Vec::new();
+    scan_runs(ops, |issuer, range| {
+        runs.push(match issuer {
+            Some(cpu) => CpuRun::Cpu {
+                cpu,
+                len: u32::try_from(range.len()).expect("run length overflow"),
+            },
+            None => CpuRun::Global,
+        });
+    });
+    runs
+}
+
 /// Execution statistics of a sharded run (scheduling diagnostics; these
 /// are about the *executor*, not the simulated machine).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -547,7 +624,7 @@ impl ShardedMachine {
         // single-core hosts.
         if self.ranges.len() == 1 || self.pool.workers() == 0 {
             self.stats.serialized_ops += ops.len() as u64;
-            self.machine.replay(ops);
+            self.machine.apply_batch(ops);
             return;
         }
         let cpus_per_node = self.machine.config().cpus_per_node;
@@ -603,7 +680,7 @@ impl ShardedMachine {
         self.stats.windows += 1;
         self.stats.contained_ops += (end - start) as u64;
         if end - start < self.parallel_threshold {
-            self.machine.replay(&ops[start..end]);
+            self.machine.apply_batch(&ops[start..end]);
             return;
         }
         self.stats.parallel_windows += 1;
@@ -1014,6 +1091,96 @@ mod tests {
         assert_eq!(sm.shards(), 8);
         let sm = ShardedMachine::new(config(), 0).unwrap();
         assert_eq!(sm.shards(), 1);
+    }
+
+    fn access(cpu: u16, va: u64) -> TraceOp {
+        TraceOp::Access {
+            cpu: CpuId(cpu),
+            va: Va(va),
+            write: false,
+        }
+    }
+
+    #[test]
+    fn split_cpu_runs_empty_trace_is_empty() {
+        assert!(split_cpu_runs(&[]).is_empty());
+    }
+
+    #[test]
+    fn split_cpu_runs_single_op_forms_one_run() {
+        assert_eq!(
+            split_cpu_runs(&[access(3, 0x1000)]),
+            vec![CpuRun::Cpu {
+                cpu: CpuId(3),
+                len: 1
+            }]
+        );
+        assert_eq!(split_cpu_runs(&[TraceOp::Barrier]), vec![CpuRun::Global]);
+    }
+
+    #[test]
+    fn split_cpu_runs_alternating_cpus_yield_unit_runs() {
+        let ops: Vec<TraceOp> = (0..6).map(|i| access(i % 2, 0x1000)).collect();
+        let runs = split_cpu_runs(&ops);
+        assert_eq!(runs.len(), 6);
+        for (i, run) in runs.iter().enumerate() {
+            assert_eq!(
+                *run,
+                CpuRun::Cpu {
+                    cpu: CpuId((i % 2) as u16),
+                    len: 1
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn split_cpu_runs_groups_maximal_same_cpu_spans() {
+        let ops = [
+            access(0, 0x1000),
+            access(0, 0x1020),
+            TraceOp::Think {
+                cpu: CpuId(0),
+                dur: Cycles(5),
+            },
+            access(4, 0x2000),
+            TraceOp::Barrier,
+            TraceOp::ArmFirstTouch,
+            access(4, 0x2020),
+        ];
+        assert_eq!(
+            split_cpu_runs(&ops),
+            vec![
+                CpuRun::Cpu {
+                    cpu: CpuId(0),
+                    len: 3
+                },
+                CpuRun::Cpu {
+                    cpu: CpuId(4),
+                    len: 1
+                },
+                CpuRun::Global,
+                CpuRun::Global,
+                CpuRun::Cpu {
+                    cpu: CpuId(4),
+                    len: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn split_cpu_runs_tables_tile_their_input() {
+        let ops = mixed_trace(16, 4);
+        let runs = split_cpu_runs(&ops);
+        let total: u64 = runs
+            .iter()
+            .map(|r| match r {
+                CpuRun::Cpu { len, .. } => u64::from(*len),
+                CpuRun::Global => 1,
+            })
+            .sum();
+        assert_eq!(total, ops.len() as u64);
     }
 
     #[test]

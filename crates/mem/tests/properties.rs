@@ -9,6 +9,7 @@ use rnuma_mem::fxmap::FxMap64;
 use rnuma_mem::l1::L1Cache;
 use rnuma_mem::moesi::Moesi;
 use rnuma_mem::page_cache::PageCache;
+use rnuma_mem::paged::PagedMap;
 
 fn arb_tag() -> impl Strategy<Value = AccessTag> {
     prop_oneof![
@@ -221,6 +222,74 @@ proptest! {
         prop_assert_eq!(map.len(), model.len());
         for (&k, &v) in &model {
             prop_assert_eq!(map.get(k), Some(&v));
+        }
+    }
+
+    /// The paged dense map agrees with a `BTreeMap` reference model
+    /// under arbitrary touch/get/get_mut sequences — the correctness
+    /// contract behind swapping it under the home directory. The
+    /// touched-bitmap semantics the directory's refetch detection needs
+    /// are covered by op 1: `entry_or_default` marks a block *present
+    /// with default state*, observably different from absent, without
+    /// notifying neighbors.
+    #[test]
+    fn pagedmap_matches_btreemap_model(
+        ops in prop::collection::vec(
+            (0u8..4, 0u64..(16 * BLOCKS_PER_PAGE), 1u32..100),
+            1..600,
+        )
+    ) {
+        let mut paged: PagedMap<u32> = PagedMap::new();
+        let mut model: std::collections::BTreeMap<u64, u32> =
+            std::collections::BTreeMap::new();
+        for (op, b, v) in ops {
+            let block = VBlock(b);
+            match op {
+                // Insert-or-update through the entry API.
+                0 => {
+                    *paged.entry_or_default(block) += v;
+                    *model.entry(b).or_insert(0) += v;
+                }
+                // Bare touch: present-with-default, not absent.
+                1 => {
+                    let _ = paged.entry_or_default(block);
+                    model.entry(b).or_insert(0);
+                }
+                // In-place mutation of already-touched blocks only.
+                2 => {
+                    prop_assert_eq!(paged.get_mut(block).is_some(), model.contains_key(&b));
+                    if let Some(slot) = paged.get_mut(block) {
+                        *slot = v;
+                    }
+                    if let Some(slot) = model.get_mut(&b) {
+                        *slot = v;
+                    }
+                }
+                // Read-only probe.
+                _ => prop_assert_eq!(paged.get(block).copied(), model.get(&b).copied()),
+            }
+            prop_assert_eq!(paged.len(), model.len());
+            prop_assert_eq!(paged.is_empty(), model.is_empty());
+        }
+        // Full sweep: every block agrees, touched or absent.
+        for b in 0..(16 * BLOCKS_PER_PAGE) {
+            prop_assert_eq!(paged.get(VBlock(b)).copied(), model.get(&b).copied());
+        }
+        // Slab count equals the model's distinct touched pages.
+        let model_pages: std::collections::BTreeSet<u64> =
+            model.keys().map(|&b| VBlock(b).vpage().0).collect();
+        prop_assert_eq!(paged.pages(), model_pages.len());
+        // Per-page iteration is exactly the model's ascending range.
+        for page in 0..16u64 {
+            let from_model: Vec<(VBlock, u32)> = model
+                .range(page * BLOCKS_PER_PAGE..(page + 1) * BLOCKS_PER_PAGE)
+                .map(|(&b, &v)| (VBlock(b), v))
+                .collect();
+            let from_paged: Vec<(VBlock, u32)> = paged
+                .page_entries(VPage(page))
+                .map(|(b, &v)| (b, v))
+                .collect();
+            prop_assert_eq!(from_paged, from_model, "page {}", page);
         }
     }
 

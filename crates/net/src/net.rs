@@ -56,6 +56,7 @@ impl Default for NetConfig {
 }
 
 impl NetConfig {
+    #[inline]
     fn occupancy(&self, class: SizeClass) -> Cycles {
         match class {
             SizeClass::Control => self.control_occupancy,
@@ -63,6 +64,15 @@ impl NetConfig {
             SizeClass::Page => self.page_occupancy,
         }
     }
+}
+
+/// Out-of-window NI access: an executor containment bug, kept out of
+/// line so the bounds check on the send/post fast path stays a single
+/// compare-and-branch to a cold block.
+#[cold]
+#[inline(never)]
+fn window_violation(node: NodeId, base: usize, len: usize) -> ! {
+    panic!("node {node} outside NI window {base}..{}", base + len);
 }
 
 /// One node's complete network-interface state: both FCFS ports plus the
@@ -281,11 +291,17 @@ impl<'a> NetWindow<'a> {
         NetWindow { config, base, nis }
     }
 
+    /// Wrapping index arithmetic turns "below base" into a huge index,
+    /// so one length compare covers both out-of-window directions; the
+    /// panic itself lives in a cold out-of-line block.
+    #[inline]
     fn ni_mut(&mut self, node: NodeId) -> &mut NodeNi {
-        let idx = (node.0 as usize)
-            .checked_sub(self.base)
-            .unwrap_or_else(|| panic!("node {node} below NI window base {}", self.base));
-        &mut self.nis[idx]
+        let idx = (node.0 as usize).wrapping_sub(self.base);
+        let len = self.nis.len();
+        match self.nis.get_mut(idx) {
+            Some(ni) => ni,
+            None => window_violation(node, self.base, len),
+        }
     }
 
     /// Sends one synchronous message, returning its delivery time at
@@ -301,6 +317,7 @@ impl<'a> NetWindow<'a> {
     ///
     /// Panics if `from == to` (nodes never message themselves) or either
     /// id is outside the window.
+    #[inline]
     pub fn send(&mut self, now: Cycles, from: NodeId, to: NodeId, kind: MsgKind) -> Cycles {
         assert_ne!(from, to, "loopback messages are a protocol bug");
         let occ = self.config.occupancy(kind.size_class());
@@ -326,6 +343,7 @@ impl<'a> NetWindow<'a> {
     /// # Panics
     ///
     /// Panics if `from == to` or `from` is outside the window.
+    #[inline]
     pub fn post(&mut self, now: Cycles, from: NodeId, to: NodeId, kind: MsgKind) -> Cycles {
         assert_ne!(from, to, "loopback messages are a protocol bug");
         let occ = self.config.occupancy(kind.size_class());
@@ -468,7 +486,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "below NI window base")]
+    #[should_panic(expected = "outside NI window")]
     fn window_rejects_out_of_range_sender() {
         let mut n = net();
         let mut ws = n.windows(&[0..4, 4..8]);

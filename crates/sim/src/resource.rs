@@ -57,14 +57,18 @@ impl Resource {
     /// Returns the *grant time*: `now` if the resource is idle, otherwise
     /// the time the previous holder releases it. The caller's transaction
     /// completes at `grant + occupancy` (plus any downstream latency).
+    ///
+    /// This sits on the innermost simulation loop (several acquisitions
+    /// per miss), so the accounting is branchless: the wait term is zero
+    /// on the uncontended path and folds into the same adds either way.
+    #[inline]
     pub fn acquire(&mut self, now: Cycles, occupancy: Cycles) -> Cycles {
-        let grant = now.max(self.next_free);
-        if grant > now {
-            self.queued += 1;
-            self.total_wait += grant - now;
-        }
-        self.next_free = grant + occupancy;
-        self.busy += occupancy;
+        let grant = Cycles(now.0.max(self.next_free.0));
+        let wait = grant.0 - now.0;
+        self.queued += u64::from(wait > 0);
+        self.total_wait.0 += wait;
+        self.next_free = Cycles(grant.0 + occupancy.0);
+        self.busy.0 += occupancy.0;
         self.grants += 1;
         grant
     }

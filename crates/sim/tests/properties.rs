@@ -23,6 +23,52 @@ proptest! {
         }
     }
 
+    /// Full reference model of [`Resource::acquire`]: grant time,
+    /// `next_free`, and the queued/wait/busy accounting all match a
+    /// direct recomputation for arbitrary (not necessarily time-ordered)
+    /// request sequences — the contract behind the branchless fast path.
+    #[test]
+    fn resource_accounting_matches_reference_model(
+        reqs in prop::collection::vec((0u64..10_000, 0u64..100), 0..300)
+    ) {
+        let mut r = Resource::new("prop");
+        let mut next_free = 0u64;
+        let (mut queued, mut wait, mut busy) = (0u64, 0u64, 0u64);
+        for &(t, occ) in &reqs {
+            let g = r.acquire(Cycles(t), Cycles(occ));
+            let expect = t.max(next_free);
+            prop_assert_eq!(g, Cycles(expect));
+            if expect > t {
+                queued += 1;
+                wait += expect - t;
+            }
+            next_free = expect + occ;
+            busy += occ;
+            prop_assert_eq!(r.next_free(), Cycles(next_free));
+        }
+        prop_assert_eq!(r.grants(), reqs.len() as u64);
+        prop_assert_eq!(r.queued(), queued);
+        prop_assert_eq!(r.total_wait(), Cycles(wait));
+        prop_assert_eq!(r.busy(), Cycles(busy));
+    }
+
+    /// Monotonicity and occupancy exclusion: each grant starts at or
+    /// after the previous transaction's release, so occupancy intervals
+    /// never overlap — even when requests arrive out of time order.
+    #[test]
+    fn resource_occupancy_intervals_never_overlap(
+        reqs in prop::collection::vec((0u64..5_000, 1u64..64), 1..200)
+    ) {
+        let mut r = Resource::new("prop");
+        let mut prev_release = 0u64;
+        for &(t, occ) in &reqs {
+            let g = r.acquire(Cycles(t), Cycles(occ));
+            prop_assert!(g >= Cycles(t), "grant before request");
+            prop_assert!(g.0 >= prev_release, "occupancy overlap");
+            prev_release = g.0 + occ;
+        }
+    }
+
     /// Busy time equals the sum of occupancies regardless of contention.
     #[test]
     fn resource_busy_is_sum_of_occupancy(occs in prop::collection::vec(0u64..1000, 0..100)) {

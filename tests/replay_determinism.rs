@@ -20,18 +20,7 @@ use std::sync::Arc;
 
 #[path = "support.rs"]
 mod support;
-use support::forced_pool;
-
-/// The Figure-6 configuration axis: capture on the ideal baseline,
-/// replay on the three finite protocols.
-fn figure_configs() -> [MachineConfig; 4] {
-    [
-        MachineConfig::paper_base(Protocol::ideal()),
-        MachineConfig::paper_base(Protocol::paper_ccnuma()),
-        MachineConfig::paper_base(Protocol::paper_scoma()),
-        MachineConfig::paper_base(Protocol::paper_rnuma()),
-    ]
-}
+use support::{figure_configs, forced_pool};
 
 /// The full figure grid through the real driver (`sweep_grid`): every
 /// cell must be bit-identical to an independently captured and

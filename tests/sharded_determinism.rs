@@ -16,7 +16,7 @@ use rnuma_workloads::{by_name, Scale, APP_NAMES};
 
 #[path = "support.rs"]
 mod support;
-use support::forced_pool;
+use support::{figure_protocols, forced_pool};
 
 fn assert_sharded_matches_serial(app: &str, protocol: Protocol, shard_counts: &[usize]) {
     let config = MachineConfig::paper_base(protocol);
@@ -38,15 +38,13 @@ fn assert_sharded_matches_serial(app: &str, protocol: Protocol, shard_counts: &[
 }
 
 /// The full figure grid: every Table-3 application on every finite
-/// protocol, serial vs. 2- and 4-sharded replay, bit-identical.
+/// protocol of the shared fixture, serial vs. 2- and 4-sharded replay,
+/// bit-identical.
 #[test]
 fn every_app_and_protocol_is_shard_deterministic() {
+    let [_, finite @ ..] = figure_protocols();
     for app in APP_NAMES {
-        for protocol in [
-            Protocol::paper_ccnuma(),
-            Protocol::paper_scoma(),
-            Protocol::paper_rnuma(),
-        ] {
+        for protocol in finite {
             assert_sharded_matches_serial(app, protocol, &[2, 4]);
         }
     }
@@ -56,8 +54,9 @@ fn every_app_and_protocol_is_shard_deterministic() {
 /// it is the denominator of every normalized figure.
 #[test]
 fn ideal_baseline_is_shard_deterministic() {
+    let [ideal, ..] = figure_protocols();
     for app in ["em3d", "moldyn", "ocean"] {
-        assert_sharded_matches_serial(app, Protocol::ideal(), &[2, 4, 8]);
+        assert_sharded_matches_serial(app, ideal, &[2, 4, 8]);
     }
 }
 

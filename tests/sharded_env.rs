@@ -74,6 +74,20 @@ fn rnuma_shards_routing() {
         MachineConfig::paper_base(Protocol::paper_rnuma()),
     ];
     let reference = sweep_grid(&["em3d"], &configs, Scale::Tiny);
+    // The sweep's cells run the batched replay loop; pin them to the
+    // per-op `Machine::replay` reference so every environment
+    // combination below transitively proves batched ≡ per-op too.
+    let (_, trace) =
+        rnuma::experiment::run_traced(configs[0], &mut by_name("em3d", Scale::Tiny).unwrap());
+    for (r, &config) in reference[0].iter().zip(&configs) {
+        let mut per_op = rnuma::Machine::new(config).unwrap();
+        per_op.replay(&trace);
+        assert!(
+            r.metrics.replay_eq(&per_op.metrics()),
+            "sweep cell diverged from per-op replay on {}",
+            config.protocol
+        );
+    }
     for (jobs, shards) in [
         (Some("1"), Some("4")),
         (Some("2"), Some("2")),
