@@ -3,8 +3,9 @@
 //! Measures a real multi-application, multi-configuration sweep three
 //! ways — through the shared `TraceStore` driver, with per-cell
 //! capture, and as plain execution-driven runs — plus the batched
-//! replay engine in isolation (batched vs. per-op replay of the same
-//! cells), and records everything in `results/BENCH_sweep.json`.
+//! replay engine in isolation (batched vs. per-op live dispatch of the
+//! same cells, and the pooled-batched sharded executor), and records
+//! everything in `results/BENCH_sweep.json`.
 //!
 //! With `RNUMA_SWEEP_GATE` set (CI does), the run **fails** when the
 //! batched-vs-per-op replay speedup falls more than 10% below the
@@ -66,6 +67,12 @@ fn main() {
         "  per-op replay      {:>8.1} ms/pass (batched is {:.2}x faster)",
         lane.perop_replay_secs * 1e3,
         lane.batched_speedup_vs_perop()
+    );
+    println!(
+        "  pooled-batched     {:>8.1} ms/pass ({} shards, {:.2}x vs serial batched)",
+        lane.pooled_replay_secs * 1e3,
+        lane.pooled_shards,
+        lane.pooled_speedup_vs_batched()
     );
 
     let target = 1.3;

@@ -195,17 +195,19 @@ pub fn synth_partitioned_trace(refs: usize, pages_per_node: u64) -> Vec<TraceOp>
     ops
 }
 
-/// The `sharded` lane: serial vs. epoch-sharded replay of the same
-/// partitioned trace.
+/// The `sharded` lane: serial batched replay (`Machine::apply_batch`)
+/// vs. pooled-batched sharded replay (`ShardedMachine`, whose parallel
+/// windows execute their buckets through the batched run-table kernel)
+/// of the same partitioned trace.
 #[derive(Clone, Debug)]
 pub struct ShardedLane {
     /// Shards used ([`SHARDED_LANE_SHARDS`]).
     pub shards: usize,
     /// References in the trace (excluding barriers/arm ops).
     pub trace_refs: usize,
-    /// Serial `Machine` replay throughput.
+    /// Serial batched `Machine::apply_batch` replay throughput.
     pub serial_refs_per_sec: f64,
-    /// `ShardedMachine` replay throughput.
+    /// Pooled-batched `ShardedMachine` replay throughput.
     pub sharded_refs_per_sec: f64,
 }
 
@@ -236,11 +238,13 @@ fn time_replays(refs: usize, mut replay: impl FnMut()) -> f64 {
 }
 
 /// Measures the sharded lane on `protocol`: replays the same
-/// partitioned trace serially and through a [`ShardedMachine`] on the
-/// shared worker pool, verifying bit-identical metrics while timing
-/// both. On a single-core host the shared pool has no workers, so the
-/// lane measures the executor's inline fallback (~1.0x serial) rather
-/// than thread-handoff cost.
+/// partitioned trace through the serial batched engine and through a
+/// [`ShardedMachine`] on the shared worker pool (pooled windows
+/// executing their buckets through the batched run-table kernel),
+/// verifying bit-identical metrics while timing both. On a single-core
+/// host the shared pool has no workers, so the lane measures the
+/// executor's inline fallback (~1.0x serial) rather than
+/// thread-handoff cost.
 ///
 /// # Panics
 ///
@@ -254,7 +258,7 @@ pub fn sharded_lane(protocol: Protocol, trace_refs: usize) -> ShardedLane {
 
     // Self-check once before timing: the lane must be exact.
     let mut serial = Machine::new(config).expect("valid paper config");
-    serial.replay(&ops);
+    serial.apply_batch(&ops);
     let mut sharded = ShardedMachine::new(config, SHARDED_LANE_SHARDS).expect("valid paper config");
     sharded.run_trace(&ops);
     assert!(
@@ -264,7 +268,7 @@ pub fn sharded_lane(protocol: Protocol, trace_refs: usize) -> ShardedLane {
 
     let serial_rps = time_replays(refs, || {
         let mut m = Machine::new(config).expect("valid paper config");
-        m.replay(&ops);
+        m.apply_batch(&ops);
         std::hint::black_box(m.metrics().l1_hits);
     });
     let sharded_rps = time_replays(refs, || {

@@ -51,15 +51,34 @@ pub fn parse_scale(args: &[String]) -> Scale {
     }
 }
 
-/// Returns the `results/` directory, creating it if needed.
+/// Returns the canonical results directory — `results/` at the
+/// *workspace root* — creating it if needed. `RNUMA_RESULTS_DIR`
+/// overrides it (resolved relative to the process working directory
+/// when not absolute).
+///
+/// Anchoring to the workspace root rather than the working directory
+/// matters: bench lanes and figure binaries are launched from both the
+/// root and the crate directory, and a CWD-relative `results/` used to
+/// scatter drifting copies of `BENCH_hotpath.json`/`BENCH_sweep.json`
+/// under `crates/bench/results/`. Every emitter goes through here, so
+/// there is exactly one output directory now.
 ///
 /// # Panics
 ///
 /// Panics if the directory cannot be created.
 #[must_use]
 pub fn results_dir() -> PathBuf {
-    let dir =
-        std::env::var("RNUMA_RESULTS_DIR").map_or_else(|_| PathBuf::from("results"), PathBuf::from);
+    let dir = std::env::var("RNUMA_RESULTS_DIR").map_or_else(
+        |_| {
+            // crates/bench -> crates -> workspace root.
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .expect("bench crate lives two levels below the workspace root")
+                .join("results")
+        },
+        PathBuf::from,
+    );
     std::fs::create_dir_all(&dir).expect("cannot create results directory");
     dir
 }
@@ -354,6 +373,19 @@ mod tests {
         let s = t.render();
         assert!(s.contains("a  b"));
         assert!(s.contains("1  2") && s.contains("3  4"));
+    }
+
+    #[test]
+    fn results_dir_is_anchored_at_the_workspace_root() {
+        // With no override, the directory is absolute, named
+        // `results`, and sits next to the workspace manifest — never
+        // relative to the process CWD.
+        if std::env::var_os("RNUMA_RESULTS_DIR").is_none() {
+            let dir = results_dir();
+            assert!(dir.is_absolute());
+            assert!(dir.ends_with("results"));
+            assert!(dir.parent().unwrap().join("Cargo.toml").exists());
+        }
     }
 
     #[test]

@@ -17,11 +17,18 @@
 //!
 //! * **replay throughput** — the batched replay engine in isolation:
 //!   the non-capture cells replayed from the interned store (batched,
-//!   pre-split run tables) against the same cells through the per-op
-//!   `Machine::replay` reference. The batched-vs-per-op speedup is the
-//!   host-independent gate CI enforces (`RNUMA_SWEEP_GATE`).
+//!   pre-split run tables) against the same cells driven through the
+//!   live API one op at a time (`live_dispatch` — the thin wrapper
+//!   standing in for the retired per-op replay path). The
+//!   batched-vs-per-op speedup is the host-independent gate CI
+//!   enforces (`RNUMA_SWEEP_GATE`).
+//! * **pooled-batched replay** — the same cells through the sharded
+//!   executor's pooled window buckets (`ShardedMachine::run_segments`
+//!   on a worker-backed pool), whose batched bucket kernel this lane
+//!   records alongside the serial engine.
 //!
-//! Results land in `results/BENCH_sweep.json` so subsequent PRs have a
+//! Results land in `results/BENCH_sweep.json` (the canonical
+//! workspace-root directory) so subsequent PRs have a
 //! sweep-throughput trajectory; the acceptance gates are the
 //! sweep-vs-per-cell-capture speedup and the batched-vs-per-op replay
 //! speedup against the committed baseline
@@ -29,10 +36,32 @@
 
 use rnuma::config::MachineConfig;
 use rnuma::experiment::{run, run_replayed, run_traced, TraceStore};
+use rnuma::shard::{ShardPool, ShardedMachine, TraceOp};
 use rnuma::Machine;
 use rnuma_workloads::{by_name, Scale};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Drives `ops` through the live per-op API (`Machine::access` and
+/// friends), one op at a time. The per-op replay entry points are
+/// retired from the public API; this thin wrapper is their stand-in as
+/// the reference leg of the batched-vs-per-op lanes — and of the
+/// differential test suites, which share this one definition — paying
+/// exactly the per-op dispatch and per-op engine setup the batched
+/// loop eliminates.
+pub fn live_dispatch(machine: &mut Machine, ops: &[TraceOp]) {
+    for op in ops {
+        match *op {
+            TraceOp::Access { cpu, va, write } => {
+                machine.access(cpu, va, write);
+            }
+            TraceOp::Think { cpu, dur } => machine.advance(cpu, dur),
+            TraceOp::Barrier => machine.barrier_all(),
+            TraceOp::ArmFirstTouch => machine.arm_first_touch(),
+        }
+    }
+}
 
 /// Everything `BENCH_sweep.json` records.
 #[derive(Clone, Debug)]
@@ -55,8 +84,15 @@ pub struct SweepLane {
     pub replay_ops: u64,
     /// Seconds per replay-only pass through the batched loop.
     pub replay_secs: f64,
-    /// Seconds per replay-only pass through the per-op reference path.
+    /// Seconds per replay-only pass through per-op live dispatch (the
+    /// reference leg standing in for the retired per-op replay path).
     pub perop_replay_secs: f64,
+    /// Shard count of the pooled-batched lane.
+    pub pooled_shards: usize,
+    /// Seconds per replay-only pass through the sharded executor's
+    /// pooled window buckets (batched bucket kernel, worker-backed
+    /// pool).
+    pub pooled_replay_secs: f64,
 }
 
 impl SweepLane {
@@ -80,10 +116,21 @@ impl SweepLane {
 
     /// Batched-vs-per-op replay speedup — host-independent (both sides
     /// run on the same machine in the same process), so it is the
-    /// number the CI regression gate compares across commits.
+    /// number the CI regression gate compares across commits. "Per-op"
+    /// is live dispatch through the public API (`live_dispatch`),
+    /// the stand-in for the retired per-op replay path.
     #[must_use]
     pub fn batched_speedup_vs_perop(&self) -> f64 {
         self.perop_replay_secs / self.replay_secs
+    }
+
+    /// Pooled-batched-vs-serial-batched replay speedup. Below 1.0 on
+    /// hosts where window scan + chunk handoff cost more than the
+    /// fan-out wins back (any single-core container); recorded so
+    /// multi-core hosts have a trajectory.
+    #[must_use]
+    pub fn pooled_speedup_vs_batched(&self) -> f64 {
+        self.replay_secs / self.pooled_replay_secs
     }
 
     /// Capture-stream compression from segment interning (1.0 = none).
@@ -131,8 +178,19 @@ impl SweepLane {
         );
         let _ = writeln!(
             s,
-            "  \"batched_speedup_vs_perop\": {:.3}",
+            "  \"batched_speedup_vs_perop\": {:.3},",
             self.batched_speedup_vs_perop()
+        );
+        let _ = writeln!(s, "  \"pooled_shards\": {},", self.pooled_shards);
+        let _ = writeln!(
+            s,
+            "  \"pooled_replay_secs\": {:.4},",
+            self.pooled_replay_secs
+        );
+        let _ = writeln!(
+            s,
+            "  \"pooled_speedup_vs_batched\": {:.3}",
+            self.pooled_speedup_vs_batched()
         );
         s.push('}');
         s
@@ -195,7 +253,7 @@ fn percell_pass(apps: &[&'static str], configs: &[MachineConfig], scale: Scale) 
             let mut w = by_name(app, scale).unwrap_or_else(|| panic!("unknown app {app}"));
             let (report, trace) = run_traced(config, &mut w);
             let mut machine = Machine::new(config).expect("valid config");
-            machine.replay(&trace);
+            machine.apply_batch(&trace);
             assert!(report.metrics.replay_eq(&machine.metrics()));
             sink ^= report.cycles();
         }
@@ -233,9 +291,10 @@ pub fn measure(apps: &[&'static str], configs: &[MachineConfig], scale: Scale) -
 
     // Replay-engine isolation: capture once outside the timers, then
     // time only the non-capture cells — batched (the production path,
-    // consuming the store's pre-split run tables) against the per-op
-    // `Machine::replay` reference, on the same streams in the same
-    // process, so their ratio is host-independent.
+    // consuming the store's pre-split run tables) against per-op live
+    // dispatch (the stand-in for the retired per-op replay path), on
+    // the same streams in the same process, so their ratio is
+    // host-independent.
     let mut store = TraceStore::new();
     let ids: Vec<_> = apps
         .iter()
@@ -266,8 +325,31 @@ pub fn measure(apps: &[&'static str], configs: &[MachineConfig], scale: Scale) -
         for &id in &ids {
             for &config in &configs[1..] {
                 let mut machine = Machine::new(config).expect("valid config");
-                machine.replay_segments(store.segments(id));
+                for seg in store.segments(id) {
+                    live_dispatch(&mut machine, seg);
+                }
                 sink ^= machine.metrics().exec_cycles.0;
+            }
+        }
+        std::hint::black_box(sink);
+    });
+
+    // Pooled-batched lane: the same cells through the sharded
+    // executor's window buckets and their batched bucket kernel, on a
+    // pool that always has workers (`ShardPool::checking`) so the
+    // pooled path is actually exercised — which makes this an honest
+    // measurement of scan + handoff + kernel even on single-core CI
+    // (where it costs more than serial batched replay).
+    let pool = ShardPool::checking();
+    let pooled_shards = 4usize;
+    let pooled_replay_secs = time_passes_for(0.4, || {
+        let mut sink = 0u64;
+        for &id in &ids {
+            for &config in &configs[1..] {
+                let mut sm = ShardedMachine::with_pool(config, pooled_shards, Arc::clone(&pool))
+                    .expect("valid config");
+                sm.run_segments(store.segments(id));
+                sink ^= sm.metrics().exec_cycles.0;
             }
         }
         std::hint::black_box(sink);
@@ -284,6 +366,8 @@ pub fn measure(apps: &[&'static str], configs: &[MachineConfig], scale: Scale) -
         replay_ops,
         replay_secs,
         perop_replay_secs,
+        pooled_shards,
+        pooled_replay_secs,
     }
 }
 
@@ -374,6 +458,8 @@ mod tests {
             replay_ops: 3000,
             replay_secs: 0.5,
             perop_replay_secs: 0.75,
+            pooled_shards: 4,
+            pooled_replay_secs: 0.625,
         }
     }
 
@@ -387,6 +473,8 @@ mod tests {
         assert!(json.contains("\"speedup_vs_direct_run\": 1.50"));
         assert!(json.contains("\"replay_ops_per_sec\": 6000"));
         assert!(json.contains("\"batched_speedup_vs_perop\": 1.500"));
+        assert!(json.contains("\"pooled_shards\": 4"));
+        assert!(json.contains("\"pooled_speedup_vs_batched\": 0.800"));
         assert!((lane.interning_ratio() - 1.25).abs() < 1e-12);
         // The emitted document round-trips through the gate parser.
         assert_eq!(json_number(&json, "batched_speedup_vs_perop"), Some(1.5));

@@ -27,8 +27,8 @@
 //! workload's [`TraceOp`] stream **once** — into a [`TraceStore`], an
 //! arena-backed, segment-interned store — and replays it against every
 //! other configuration ([`run_replayed`] per cell, [`run_sweep`] for a
-//! whole config axis). Replay is bit-identical to a serial
-//! [`Machine::replay`] of the same stream in every execution mode
+//! whole config axis). Replay is bit-identical to a serial batched
+//! [`Machine::apply_batch`] of the same stream in every execution mode
 //! (`RNUMA_SHARDS` turns each cell into a pool-backed self-check), and
 //! the sweep's reference stream is *fixed across cells* — the classic
 //! trace-driven methodology. See `docs/SWEEP.md` for the model and its
@@ -380,7 +380,7 @@ const SEG_OPS: usize = 4096;
 /// workloads (iterative solvers re-issuing identical per-iteration
 /// streams) compress substantially, and identical workloads captured
 /// twice cost one copy. Replay iterates a stream's segments in order
-/// ([`TraceStore::segments`]); [`Machine::replay_segments`] and
+/// ([`TraceStore::segments`]); [`Machine::replay_segment`] and
 /// [`ShardedMachine::run_segments`] both accept that form directly.
 ///
 /// # Example
@@ -599,7 +599,8 @@ impl TraceStore {
     /// other replay mode is bit-identical to; it runs through the
     /// batched loop ([`Machine::replay_segment`], consuming the
     /// pre-split run tables), which `tests/batched_replay.rs` proves
-    /// bit-identical to the per-op [`Machine::replay`] reference.
+    /// bit-identical to the live execution the stream was captured
+    /// from.
     ///
     /// `config` need not be the capture configuration — that is the
     /// point of a sweep — but it must describe the same cluster shape
@@ -715,8 +716,9 @@ pub fn run_replayed(store: &TraceStore, id: TraceId, config: MachineConfig) -> R
 ///
 /// All cells therefore simulate the *same* reference stream — the
 /// fixed-trace methodology classic ccNUMA tooling uses for sweeps —
-/// and each cell is bit-identical to a serial [`Machine::replay`] of
-/// that stream on its configuration (see `docs/SWEEP.md`).
+/// and each cell is bit-identical to a serial batched
+/// [`Machine::apply_batch`] of that stream on its configuration (see
+/// `docs/SWEEP.md`).
 ///
 /// # Example
 ///

@@ -277,12 +277,19 @@ impl Machine {
         self.lanes().access(cpu, va, write)
     }
 
-    /// Applies one recorded operation (the serial replay step).
+    /// Applies one recorded operation through the live per-op dispatch
+    /// — the retired per-op replay path's last remaining step. Crate-
+    /// private by design: its only callers are the tracing fallback of
+    /// the batched entry points below and the sharded executor's
+    /// serial between-window leg (`ShardedMachine::exec_blocking`);
+    /// everything else replays through [`Machine::apply_batch`] /
+    /// [`Machine::replay_segment`] (`tools/check_perop_guard.sh`
+    /// enforces this).
     ///
     /// # Panics
     ///
     /// Panics if the op references a CPU outside the machine.
-    pub fn apply_op(&mut self, op: &TraceOp) {
+    pub(crate) fn apply_op(&mut self, op: &TraceOp) {
         match *op {
             TraceOp::Access { cpu, va, write } => {
                 self.access(cpu, va, write);
@@ -293,56 +300,31 @@ impl Machine {
         }
     }
 
-    /// Replays a recorded trace serially, in order.
-    ///
-    /// This is the reference execution the sharded replay
-    /// ([`crate::shard::ShardedMachine::run_trace`]) is bit-identical
-    /// to.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an op references a CPU outside the machine.
-    pub fn replay(&mut self, ops: &[TraceOp]) {
+    /// The tracing fallback of the batched entry points: per-op live
+    /// dispatch, which owns trace appends.
+    fn replay_per_op(&mut self, ops: &[TraceOp]) {
         for op in ops {
             self.apply_op(op);
         }
     }
 
-    /// Replays a segmented trace serially, in order — the form traces
-    /// take inside an interned `TraceStore` arena, where one logical
-    /// stream is a sequence of (possibly shared) segments.
-    ///
-    /// Equivalent to concatenating the segments and calling
-    /// [`Machine::replay`] once.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an op references a CPU outside the machine.
-    pub fn replay_segments<'a, I>(&mut self, segments: I)
-    where
-        I: IntoIterator<Item = &'a [TraceOp]>,
-    {
-        for seg in segments {
-            self.replay(seg);
-        }
-    }
-
-    /// Replays `ops` through the batched execution loop: one
-    /// construction of the crate-private `Lanes` walk engine for the
-    /// whole batch, with contiguous same-CPU runs
+    /// Replays `ops` through the batched execution loop — the *only*
+    /// replay engine: one construction of the crate-private `Lanes`
+    /// walk engine for the whole batch, with contiguous same-CPU runs
     /// streamed through per-run hoisted state instead of per-op
-    /// dispatch. Bit-identical to the per-op [`Machine::replay`] of the
-    /// same ops — the contract `tests/batched_replay.rs` enforces.
+    /// dispatch. Bit-identical to driving the live API
+    /// ([`Machine::access`] and friends) one op at a time — the
+    /// contract `tests/batched_replay.rs` enforces.
     ///
     /// When the machine is recording a trace, the batch falls back to
-    /// the per-op path (which owns trace appends).
+    /// per-op live dispatch (which owns trace appends).
     ///
     /// # Panics
     ///
     /// Panics if an op references a CPU outside the machine.
     pub fn apply_batch(&mut self, ops: &[TraceOp]) {
         if self.trace.is_some() {
-            self.replay(ops);
+            self.replay_per_op(ops);
             return;
         }
         self.lanes().run_ops(ops);
@@ -352,10 +334,11 @@ impl Machine {
     /// pre-split run table (see
     /// [`split_cpu_runs`](crate::shard::split_cpu_runs) and
     /// `TraceStore::batches`) instead of re-scanning the ops for
-    /// same-CPU runs. Bit-identical to [`Machine::replay`] of `ops`.
+    /// same-CPU runs. Bit-identical to [`Machine::apply_batch`] of
+    /// `ops`.
     ///
-    /// When the machine is recording a trace, the segment falls back to
-    /// the per-op path (which owns trace appends).
+    /// When the machine is recording a trace, the segment falls back
+    /// to per-op live dispatch (which owns trace appends).
     ///
     /// # Panics
     ///
@@ -363,7 +346,7 @@ impl Machine {
     /// `runs` does not tile `ops` exactly.
     pub fn replay_segment(&mut self, ops: &[TraceOp], runs: &[CpuRun]) {
         if self.trace.is_some() {
-            self.replay(ops);
+            self.replay_per_op(ops);
             return;
         }
         self.lanes().run_segment(ops, runs);
@@ -625,17 +608,6 @@ impl Lanes<'_> {
         (cpu.0 / self.cfg.cpus_per_node) as usize
     }
 
-    /// Sets the global trace position of the next reference (effect
-    /// ordering); the serial path leaves it at zero.
-    pub(crate) fn set_seq(&mut self, seq: u64) {
-        self.seq = seq;
-    }
-
-    /// Advances `cpu`'s clock by `dur` (think time within a window).
-    pub(crate) fn advance(&mut self, cpu: CpuId, dur: Cycles) {
-        self.clocks[cpu.0 as usize - self.cpu_base] += dur;
-    }
-
     /// Performs one memory reference for `cpu` at its current clock,
     /// advancing the clock by the reference's latency, which is
     /// returned.
@@ -674,9 +646,30 @@ impl Lanes<'_> {
     /// equivalent of [`Lanes::run_segment`] when no run table exists.
     fn run_ops(&mut self, ops: &[TraceOp]) {
         crate::shard::scan_runs(ops, |issuer, range| match issuer {
-            Some(cpu) => self.access_run(cpu, &ops[range]),
+            Some(cpu) => self.access_run(cpu, 0, &ops[range]),
             None => self.run_global(&ops[range.start]),
         });
+    }
+
+    /// Executes one pooled-window bucket through the batched window
+    /// kernel: every run streams through [`Lanes::access_run`] with
+    /// its CPU-derived indices hoisted and `seq` advanced per op from
+    /// the run's `seq_base` — a run is contiguous in both CPU and
+    /// global trace position by construction
+    /// (`rnuma::shard::BucketRun`), so the advancing `seq` reproduces
+    /// exactly the per-op `seq` the retired dispatch loop set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` does not tile `ops` exactly.
+    pub(crate) fn run_batch(&mut self, ops: &[TraceOp], runs: &[crate::shard::BucketRun]) {
+        let mut at = 0usize;
+        for run in runs {
+            let end = at + run.len as usize;
+            self.access_run(run.cpu, run.seq_base, &ops[at..end]);
+            at = end;
+        }
+        assert_eq!(at, ops.len(), "run table does not tile its bucket");
     }
 
     /// Streams one segment through this lane, consuming its pre-split
@@ -691,7 +684,7 @@ impl Lanes<'_> {
             match *run {
                 CpuRun::Cpu { cpu, len } => {
                     let end = at + len as usize;
-                    self.access_run(cpu, &ops[at..end]);
+                    self.access_run(cpu, 0, &ops[at..end]);
                     at = end;
                 }
                 CpuRun::Global => {
@@ -718,6 +711,12 @@ impl Lanes<'_> {
     /// the CPU-derived indices (clock slot, node, L1) hoisted out of the
     /// per-op loop — the batched replay loop's inner kernel.
     ///
+    /// `seq_base` is the global trace position of the run's first op;
+    /// `seq` advances per op from it, keeping cross-shard effect keys
+    /// exact inside pooled windows (whose runs are seq-contiguous by
+    /// construction). Serial full-range lanes never buffer effects and
+    /// pass 0.
+    ///
     /// Within the run, the per-reference page-profile touch is
     /// coalesced: [`Metrics::touch_page`] is idempotent per
     /// `(page, node, wrote)` triple, so a span of consecutive
@@ -725,7 +724,7 @@ impl Lanes<'_> {
     /// first reference (creating the profile at the same point in
     /// execution order as the per-op path) plus once for its first
     /// write — never once per op.
-    fn access_run(&mut self, cpu: CpuId, ops: &[TraceOp]) {
+    fn access_run(&mut self, cpu: CpuId, seq_base: u64, ops: &[TraceOp]) {
         let cpu_idx = cpu.0 as usize - self.cpu_base;
         let node_idx = self.node_of(cpu);
         let node_id = NodeId(node_idx as u8);
@@ -734,7 +733,14 @@ impl Lanes<'_> {
         // u64s, so their page indices never reach u64::MAX).
         let mut span_page = VPage(u64::MAX);
         let mut span_wrote = false;
-        for op in ops {
+        // Only shard lanes consume `seq` (cross-shard effect keys);
+        // hoisting the check keeps the per-op store off the serial
+        // batched hot path, which never buffers effects.
+        let track_seq = self.effects.is_some();
+        for (seq, op) in (seq_base..).zip(ops) {
+            if track_seq {
+                self.seq = seq;
+            }
             // A run table paired with the wrong segment of equal length
             // would otherwise execute silently with every op charged to
             // the hoisted run CPU.

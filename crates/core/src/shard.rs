@@ -129,10 +129,35 @@ pub enum CpuRun {
         /// The run's issuing CPU.
         cpu: CpuId,
         /// Number of consecutive ops in the run (always at least 1).
+        /// A maximal same-CPU run longer than [`MAX_RUN_LEN`] ops is
+        /// emitted as several consecutive entries, so gigabyte-class
+        /// traces never overflow the field.
         len: u32,
     },
     /// One global op (`Barrier` or `ArmFirstTouch`).
     Global,
+}
+
+/// Largest op count one [`CpuRun::Cpu`] (or window-bucket `BucketRun`)
+/// entry can carry. Longer runs split into several consecutive entries — the
+/// batched kernels execute each entry separately, and the metric
+/// page-touch coalescing is idempotent, so the split is invisible to
+/// results.
+pub const MAX_RUN_LEN: usize = u32::MAX as usize;
+
+/// Appends one same-CPU run of `len` ops to `runs`, splitting it into
+/// [`MAX_RUN_LEN`]-sized entries instead of overflowing (the
+/// `--scale paper` regime holds multi-gigabyte traces; a panic here
+/// would cap trace length by accident).
+fn push_cpu_run(runs: &mut Vec<CpuRun>, cpu: CpuId, mut len: usize) {
+    while len > 0 {
+        let chunk = len.min(MAX_RUN_LEN);
+        runs.push(CpuRun::Cpu {
+            cpu,
+            len: chunk as u32,
+        });
+        len -= chunk;
+    }
 }
 
 /// Walks `ops` as its maximal runs, calling `f` once per run with the
@@ -166,16 +191,79 @@ pub(crate) fn scan_runs(ops: &[TraceOp], mut f: impl FnMut(Option<CpuId>, Range<
 #[must_use]
 pub fn split_cpu_runs(ops: &[TraceOp]) -> Vec<CpuRun> {
     let mut runs = Vec::new();
-    scan_runs(ops, |issuer, range| {
-        runs.push(match issuer {
-            Some(cpu) => CpuRun::Cpu {
-                cpu,
-                len: u32::try_from(range.len()).expect("run length overflow"),
-            },
-            None => CpuRun::Global,
-        });
+    scan_runs(ops, |issuer, range| match issuer {
+        Some(cpu) => push_cpu_run(&mut runs, cpu, range.len()),
+        None => runs.push(CpuRun::Global),
     });
     runs
+}
+
+/// One entry of a pooled window bucket's run table: `len` consecutive
+/// bucket ops, all issued by `cpu`, occupying the contiguous global
+/// trace positions `seq_base .. seq_base + len`.
+///
+/// Built incrementally while `exec_window` buckets a window per shard.
+/// A run breaks on a CPU change *or* a `seq` discontinuity (ops of
+/// other shards interleaved in the global order), so the batched
+/// window kernel (`Lanes::run_batch`) can advance `seq` per op from
+/// `seq_base` — reproducing exactly the per-op `seq` dispatch the
+/// retired `run_bucket` loop paid for every op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct BucketRun {
+    /// Global trace position of the run's first op (cross-shard effect
+    /// ordering).
+    pub(crate) seq_base: u64,
+    /// The run's issuing CPU.
+    pub(crate) cpu: CpuId,
+    /// Number of consecutive ops in the run (at least 1, at most
+    /// [`MAX_RUN_LEN`]).
+    pub(crate) len: u32,
+}
+
+/// Extends a bucket's run table with the op at global trace position
+/// `seq`, growing the last run when contiguous in both CPU and `seq`.
+fn extend_bucket_runs(runs: &mut Vec<BucketRun>, seq: u64, cpu: CpuId) {
+    if let Some(last) = runs.last_mut() {
+        if last.cpu == cpu
+            && last.seq_base + u64::from(last.len) == seq
+            && (last.len as usize) < MAX_RUN_LEN
+        {
+            last.len += 1;
+            return;
+        }
+    }
+    runs.push(BucketRun {
+        seq_base: seq,
+        cpu,
+        len: 1,
+    });
+}
+
+/// One shard's slice of a parallel window: its ops in canonical order
+/// plus the run table the batched window kernel executes them through.
+/// Buckets persist across windows (cleared, not reallocated) and
+/// travel to pool workers inside [`Job`]s as plain owned values.
+#[derive(Debug, Default)]
+struct Bucket {
+    ops: Vec<TraceOp>,
+    runs: Vec<BucketRun>,
+}
+
+impl Bucket {
+    fn clear(&mut self) {
+        self.ops.clear();
+        self.runs.clear();
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends the per-CPU op at global trace position `seq`.
+    fn push(&mut self, seq: u64, cpu: CpuId, op: TraceOp) {
+        extend_bucket_runs(&mut self.runs, seq, cpu);
+        self.ops.push(op);
+    }
 }
 
 /// Execution statistics of a sharded run (scheduling diagnostics; these
@@ -189,6 +277,11 @@ pub struct ShardStats {
     /// Shard buckets shipped to pool workers (the coordinator always
     /// keeps one bucket per parallel window for itself).
     pub pool_jobs: u64,
+    /// Run-table entries executed by the batched window kernel across
+    /// all parallel-window buckets. `bucket_runs == contained_ops`
+    /// means every run degenerated to length 1 (heavily interleaved
+    /// CPUs); small values mean long hoisted runs.
+    pub bucket_runs: u64,
     /// Ops executed inside contained windows.
     pub contained_ops: u64,
     /// Ops executed serially on the whole machine: between windows
@@ -244,15 +337,15 @@ enum Class {
 }
 
 /// One parallel-window assignment for a pool worker: a shard's owned
-/// state chunk, its op bucket, and the shared frozen home table.
-/// Everything is owned or `Arc`-shared, so the job crosses threads
-/// without borrowing from the coordinator.
+/// state chunk, its op bucket (ops + run table), and the shared frozen
+/// home table. Everything is owned or `Arc`-shared, so the job crosses
+/// threads without borrowing from the coordinator.
 struct Job {
     cfg: MachineConfig,
     epoch: u64,
     homes: Arc<Footprints>,
     chunk: ShardChunk,
-    ops: Vec<(u64, TraceOp)>,
+    bucket: Bucket,
     slot: usize,
     reply: mpsc::Sender<Done>,
 }
@@ -262,7 +355,7 @@ struct Job {
 /// executor bug); the coordinator re-panics.
 struct Done {
     slot: usize,
-    outcome: Result<(ShardChunk, Vec<(u64, TraceOp)>), ()>,
+    outcome: Result<(ShardChunk, Bucket), ()>,
 }
 
 /// A persistent pool of parked shard workers.
@@ -421,13 +514,13 @@ fn worker_loop(queue: &Mutex<mpsc::Receiver<Job>>, jobs_executed: &AtomicU64) {
             epoch,
             homes,
             mut chunk,
-            ops,
+            bucket,
             slot,
             reply,
         } = job;
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut lane = chunk.lanes(&cfg, &homes, epoch);
-            run_bucket(&mut lane, &ops);
+            lane.run_batch(&bucket.ops, &bucket.runs);
         }));
         // Drop the shared home view *before* replying: once the
         // coordinator has collected every reply, it is again the sole
@@ -435,7 +528,7 @@ fn worker_loop(queue: &Mutex<mpsc::Receiver<Job>>, jobs_executed: &AtomicU64) {
         drop(homes);
         jobs_executed.fetch_add(1, Ordering::Relaxed);
         let outcome = match run {
-            Ok(()) => Ok((chunk, ops)),
+            Ok(()) => Ok((chunk, bucket)),
             Err(_) => Err(()),
         };
         let _ = reply.send(Done { slot, outcome });
@@ -481,7 +574,7 @@ pub struct ShardedMachine {
     /// Per-shard chunks: accumulators persist here between windows;
     /// machine state moves in and out per parallel window.
     chunks: Vec<ShardChunk>,
-    op_buckets: Vec<Vec<(u64, TraceOp)>>,
+    op_buckets: Vec<Bucket>,
     effect_scratch: Vec<EffectMsg>,
     reply_tx: mpsc::Sender<Done>,
     reply_rx: mpsc::Receiver<Done>,
@@ -535,7 +628,7 @@ impl ShardedMachine {
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             pool,
             chunks: (0..shards).map(|_| ShardChunk::default()).collect(),
-            op_buckets: (0..shards).map(|_| Vec::new()).collect(),
+            op_buckets: (0..shards).map(|_| Bucket::default()).collect(),
             effect_scratch: Vec::new(),
             reply_tx,
             reply_rx,
@@ -595,8 +688,8 @@ impl ShardedMachine {
 
     /// Replays a segmented trace — the form streams take inside an
     /// interned `TraceStore` arena — deterministically across the
-    /// shards, bit-identical to [`Machine::replay_segments`] of the
-    /// same segments.
+    /// shards, bit-identical to a serial batched
+    /// [`Machine::apply_batch`] of the same segments, in order.
     ///
     /// Window formation restarts at segment boundaries (a window never
     /// spans two segments); since *any* partition into contained windows
@@ -685,19 +778,25 @@ impl ShardedMachine {
         }
         self.stats.parallel_windows += 1;
 
-        // Bucket the window per shard, tagging each op with its global
-        // sequence number (the canonical serialization order).
+        // Bucket the window per shard, building each bucket's run
+        // table as it fills: each op lands under its global sequence
+        // number (the canonical serialization order), and a run grows
+        // while both the CPU and the sequence stay contiguous.
         for bucket in &mut self.op_buckets {
             bucket.clear();
         }
         for (i, op) in ops[start..end].iter().enumerate() {
-            let shard = match *op {
-                TraceOp::Access { cpu, .. } | TraceOp::Think { cpu, .. } => self.shard_of_cpu(cpu),
+            let cpu = match *op {
+                TraceOp::Access { cpu, .. } | TraceOp::Think { cpu, .. } => cpu,
                 TraceOp::Barrier | TraceOp::ArmFirstTouch => {
                     unreachable!("global ops never enter a contained window")
                 }
             };
-            self.op_buckets[shard].push(((start + i) as u64, *op));
+            let shard = self.shard_of_cpu(cpu);
+            self.op_buckets[shard].push((start + i) as u64, cpu, *op);
+        }
+        for bucket in &self.op_buckets {
+            self.stats.bucket_runs += bucket.runs.len() as u64;
         }
 
         // Hand each shard its owned state chunk. The first non-empty
@@ -723,7 +822,7 @@ impl ShardedMachine {
                 epoch,
                 homes: Arc::clone(&self.footprints),
                 chunk,
-                ops: bucket,
+                bucket,
                 slot: s,
                 reply: self.reply_tx.clone(),
             });
@@ -731,8 +830,9 @@ impl ShardedMachine {
             self.stats.pool_jobs += 1;
         }
         if let Some(s) = inline_shard {
+            let bucket = &self.op_buckets[s];
             let mut lane = self.chunks[s].lanes(&cfg, &self.footprints, epoch);
-            run_bucket(&mut lane, &self.op_buckets[s]);
+            lane.run_batch(&bucket.ops, &bucket.runs);
         }
 
         // Epoch barrier: every chunk comes home, then buffered
@@ -827,32 +927,30 @@ fn classify(
     }
 }
 
-/// Replays one shard's window subsequence, in canonical order.
-fn run_bucket(lane: &mut crate::machine::Lanes<'_>, bucket: &[(u64, TraceOp)]) {
-    for &(seq, op) in bucket {
-        match op {
-            TraceOp::Access { cpu, va, write } => {
-                lane.set_seq(seq);
-                lane.access(cpu, va, write);
-            }
-            TraceOp::Think { cpu, dur } => lane.advance(cpu, dur),
-            TraceOp::Barrier | TraceOp::ArmFirstTouch => {
-                unreachable!("global ops never enter a contained window")
-            }
-        }
-    }
-}
-
 /// The shard count requested via `RNUMA_SHARDS`, if any.
 ///
-/// `RNUMA_SHARDS=1` explicitly requests the single-threaded path;
-/// unset/unparsable means "no intra-machine sharding requested".
+/// `RNUMA_SHARDS=1` explicitly requests the single-threaded path, and
+/// unset means "no intra-machine sharding requested". A value that is
+/// *set but not a usable shard count* — `0` or anything unparsable —
+/// is a misconfiguration, and both shapes of it behave identically:
+/// a warning is printed to stderr (once per process) and sharding is
+/// disabled (`None`). Counts above [`MAX_SHARDS`] clamp down.
 #[must_use]
 pub fn shards_from_env() -> Option<usize> {
-    std::env::var("RNUMA_SHARDS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .map(|n| n.clamp(1, MAX_SHARDS))
+    let raw = std::env::var("RNUMA_SHARDS").ok()?;
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n.min(MAX_SHARDS)),
+        _ => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "rnuma: RNUMA_SHARDS={raw:?} is not a shard count \
+                     (want 1..={MAX_SHARDS}); sharding disabled"
+                );
+            });
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -903,7 +1001,7 @@ mod tests {
 
     fn serial_replay_on(config: MachineConfig, ops: &[TraceOp]) -> Metrics {
         let mut m = Machine::new(config).unwrap();
-        m.replay(ops);
+        m.apply_batch(ops);
         m.metrics()
     }
 
@@ -1166,6 +1264,203 @@ mod tests {
                     len: 1
                 },
             ]
+        );
+    }
+
+    #[test]
+    fn oversized_runs_chunk_instead_of_overflowing() {
+        // Synthetic lengths only — a real 2^32-op slice would need
+        // ~100 GB. The splitter's chunker is a pure function of the
+        // run length, so this covers the gigabyte-trace regime the
+        // paper-scale sweeps hit.
+        let mut runs = Vec::new();
+        push_cpu_run(&mut runs, CpuId(7), MAX_RUN_LEN + 5);
+        assert_eq!(
+            runs,
+            vec![
+                CpuRun::Cpu {
+                    cpu: CpuId(7),
+                    len: u32::MAX
+                },
+                CpuRun::Cpu {
+                    cpu: CpuId(7),
+                    len: 5
+                },
+            ]
+        );
+        runs.clear();
+        push_cpu_run(&mut runs, CpuId(1), 3 * MAX_RUN_LEN);
+        assert_eq!(runs.len(), 3);
+        let total: u64 = runs
+            .iter()
+            .map(|r| match r {
+                CpuRun::Cpu { len, .. } => u64::from(*len),
+                CpuRun::Global => 1,
+            })
+            .sum();
+        assert_eq!(total, 3 * MAX_RUN_LEN as u64);
+        // Zero-length runs are never emitted.
+        runs.clear();
+        push_cpu_run(&mut runs, CpuId(0), 0);
+        assert!(runs.is_empty());
+    }
+
+    #[test]
+    fn bucket_runs_break_on_cpu_change_and_seq_gap() {
+        let op = |cpu: u16| TraceOp::Access {
+            cpu: CpuId(cpu),
+            va: Va(0x1000),
+            write: false,
+        };
+        let mut b = Bucket::default();
+        // Contiguous in CPU and seq: one growing run.
+        b.push(10, CpuId(0), op(0));
+        b.push(11, CpuId(0), op(0));
+        // Seq gap (another shard's op sat at seq 12): new run.
+        b.push(13, CpuId(0), op(0));
+        // CPU change at a contiguous seq: new run.
+        b.push(14, CpuId(1), op(1));
+        assert_eq!(
+            b.runs,
+            vec![
+                BucketRun {
+                    seq_base: 10,
+                    cpu: CpuId(0),
+                    len: 2
+                },
+                BucketRun {
+                    seq_base: 13,
+                    cpu: CpuId(0),
+                    len: 1
+                },
+                BucketRun {
+                    seq_base: 14,
+                    cpu: CpuId(1),
+                    len: 1
+                },
+            ]
+        );
+        assert_eq!(b.ops.len(), 4);
+    }
+
+    /// A parallel window where exactly one bucket is non-empty runs on
+    /// the coordinator's inline-shard path: no pool jobs, bit-identical
+    /// metrics.
+    #[test]
+    fn single_populated_bucket_runs_inline_without_pool_jobs() {
+        let mut ops = vec![TraceOp::ArmFirstTouch];
+        // All references from node 0's CPUs into node-0-homed pages:
+        // contained in shard 0, invisible to every other shard.
+        for i in 0..512u64 {
+            ops.push(TraceOp::Access {
+                cpu: CpuId((i % 4) as u16),
+                va: Va((1 << 20) + (i % 8) * 4096 + (i % 128) * 32),
+                write: i % 5 == 0,
+            });
+        }
+        let serial = serial_replay_on(config(), &ops);
+        let mut sm = ShardedMachine::with_pool(config(), 4, test_pool()).unwrap();
+        sm.set_parallel_threshold(64);
+        sm.run_trace(&ops);
+        assert!(serial.replay_eq(&sm.metrics()));
+        let stats = sm.stats();
+        assert!(stats.parallel_windows >= 1, "expected fan-out: {stats:?}");
+        assert_eq!(
+            stats.pool_jobs, 0,
+            "one populated bucket must stay on the coordinator: {stats:?}"
+        );
+        assert_eq!(stats.contained_ops, 512);
+        assert!(stats.bucket_runs >= 1);
+    }
+
+    /// A contained window of exactly `parallel_threshold` ops takes
+    /// the parallel path (the threshold is inclusive); one op fewer
+    /// stays inline.
+    #[test]
+    fn window_exactly_at_threshold_goes_parallel() {
+        let threshold = 96usize;
+        let window = |n: usize| {
+            let mut ops = vec![TraceOp::ArmFirstTouch];
+            for i in 0..n {
+                ops.push(TraceOp::Access {
+                    cpu: CpuId((i % 4) as u16),
+                    va: Va((1 << 20) + (i as u64 % 128) * 32),
+                    write: false,
+                });
+            }
+            ops.push(TraceOp::Barrier);
+            ops
+        };
+        for (n, parallel) in [(threshold, 1u64), (threshold - 1, 0u64)] {
+            let ops = window(n);
+            let serial = serial_replay_on(config(), &ops);
+            let mut sm = ShardedMachine::with_pool(config(), 4, test_pool()).unwrap();
+            sm.set_parallel_threshold(threshold);
+            sm.run_trace(&ops);
+            assert!(serial.replay_eq(&sm.metrics()), "diverged at {n} ops");
+            let stats = sm.stats();
+            assert_eq!(stats.windows, 1, "{n} ops: {stats:?}");
+            assert_eq!(
+                stats.parallel_windows, parallel,
+                "threshold must be inclusive at {n} ops: {stats:?}"
+            );
+            assert_eq!(stats.contained_ops, n as u64);
+            // ArmFirstTouch + Barrier serialize between windows.
+            assert_eq!(stats.serialized_ops, 2);
+        }
+    }
+
+    /// CPU-alternating windows degenerate every bucket run to length
+    /// 1 — across shards (seq gaps) and within a node (CPU changes) —
+    /// and still replay bit-identically.
+    #[test]
+    fn alternating_cpus_degenerate_to_unit_runs() {
+        // Across shards: CPUs 0 (node 0, shard 0) and 16 (node 4,
+        // shard 2) alternate; each bucket sees seq gaps every op.
+        let mut ops = vec![TraceOp::ArmFirstTouch];
+        for i in 0..256u64 {
+            let (cpu, region) = if i % 2 == 0 {
+                (0u16, 1u64)
+            } else {
+                (16u16, 5u64)
+            };
+            ops.push(TraceOp::Access {
+                cpu: CpuId(cpu),
+                va: Va((region << 20) + (i / 2 % 128) * 32),
+                write: false,
+            });
+        }
+        let serial = serial_replay_on(config(), &ops);
+        let mut sm = ShardedMachine::with_pool(config(), 4, test_pool()).unwrap();
+        sm.set_parallel_threshold(32);
+        sm.run_trace(&ops);
+        assert!(serial.replay_eq(&sm.metrics()));
+        let stats = sm.stats();
+        assert!(stats.pool_jobs > 0, "two shards must fan out: {stats:?}");
+        assert_eq!(
+            stats.bucket_runs, stats.contained_ops,
+            "alternating shards must produce unit runs: {stats:?}"
+        );
+
+        // Within one node: CPUs 0 and 1 share a bucket; runs break on
+        // the CPU change even though seqs are contiguous.
+        let mut ops = vec![TraceOp::ArmFirstTouch];
+        for i in 0..256u64 {
+            ops.push(TraceOp::Access {
+                cpu: CpuId((i % 2) as u16),
+                va: Va((1 << 20) + (i / 2 % 128) * 32),
+                write: false,
+            });
+        }
+        let serial = serial_replay_on(config(), &ops);
+        let mut sm = ShardedMachine::with_pool(config(), 4, test_pool()).unwrap();
+        sm.set_parallel_threshold(32);
+        sm.run_trace(&ops);
+        assert!(serial.replay_eq(&sm.metrics()));
+        let stats = sm.stats();
+        assert_eq!(
+            stats.bucket_runs, stats.contained_ops,
+            "alternating CPUs in one bucket must produce unit runs: {stats:?}"
         );
     }
 

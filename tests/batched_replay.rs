@@ -1,16 +1,20 @@
 //! The differential contract of the batched replay loop: for every
 //! cell of the figure grid and for adversarial random streams,
 //!
-//! > **batched replay ≡ per-op replay ≡ live execution**, bit-identical
+//! > **batched replay ≡ live execution**, bit-identical
 //! > (`Metrics::replay_eq`).
 //!
-//! "Batched" is `Machine::apply_batch` / `Machine::replay_segment`
-//! (one `Lanes` construction per batch, contiguous same-CPU runs
-//! streamed without per-op dispatch — including the pre-split run
-//! tables a `TraceStore` computes at capture time); "per-op" is the
-//! `Machine::apply_op`/`Machine::replay` reference; "live" is the
-//! execution-driven run the trace was captured from. This equivalence
-//! is what lets future PRs delete the per-op path. See `docs/SWEEP.md`.
+//! "Batched" is `Machine::apply_batch` / `Machine::replay_segment` —
+//! the *only* replay engine (one `Lanes` construction per batch,
+//! contiguous same-CPU runs streamed without per-op dispatch,
+//! including the pre-split run tables a `TraceStore` computes at
+//! capture time). "Live" is the execution-driven run the trace was
+//! captured from, and `per_op_replay` below drives the same live API
+//! one op at a time — the thin wrapper standing in for the per-op
+//! replay path this contract licensed retiring (`Machine::apply_op`/
+//! `Machine::replay` are gone from the public API; the wrapper keeps
+//! the suite's per-op leg as a differential reference). See
+//! `docs/SWEEP.md`.
 //!
 //! The splitter's edge cases (empty traces, single-op segments,
 //! CPU-alternating streams, same-CPU runs split across interned
@@ -33,7 +37,7 @@ use support::{figure_configs, forced_pool};
 
 fn per_op_replay(config: MachineConfig, ops: &[TraceOp]) -> Metrics {
     let mut m = Machine::new(config).expect("valid config");
-    m.replay(ops);
+    rnuma_bench::sweep::live_dispatch(&mut m, ops);
     m.metrics()
 }
 

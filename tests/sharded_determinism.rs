@@ -116,7 +116,7 @@ proptest! {
             }
         }
         let mut serial = Machine::new(config).expect("valid config");
-        serial.replay(&ops);
+        serial.apply_batch(&ops);
         let reference = serial.metrics();
         for shards in [1usize, 2, 4] {
             let mut sm =

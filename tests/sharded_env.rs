@@ -61,8 +61,12 @@ fn rnuma_shards_routing() {
         }
     });
 
-    // Nonsense values mean "no sharding", not a crash.
+    // Misconfiguration is uniform: an unparsable value and an explicit
+    // zero both mean "no sharding" (with a one-time stderr warning),
+    // never a crash and never a silent clamp to 1.
     with_env(Some("banana"), || assert_eq!(shards_from_env(), None));
+    with_env(Some("0"), || assert_eq!(shards_from_env(), None));
+    with_env(Some("-3"), || assert_eq!(shards_from_env(), None));
 
     // The trace-once/replay-many sweep driver honors the same
     // environment: every (RNUMA_JOBS, RNUMA_SHARDS) combination must
@@ -74,14 +78,15 @@ fn rnuma_shards_routing() {
         MachineConfig::paper_base(Protocol::paper_rnuma()),
     ];
     let reference = sweep_grid(&["em3d"], &configs, Scale::Tiny);
-    // The sweep's cells run the batched replay loop; pin them to the
-    // per-op `Machine::replay` reference so every environment
-    // combination below transitively proves batched ≡ per-op too.
+    // The sweep's cells run the batched replay loop; pin them to a
+    // per-op live-dispatch reference (the thin stand-in for the
+    // retired per-op replay entry points) so every environment
+    // combination below transitively proves batched ≡ per-op dispatch.
     let (_, trace) =
         rnuma::experiment::run_traced(configs[0], &mut by_name("em3d", Scale::Tiny).unwrap());
     for (r, &config) in reference[0].iter().zip(&configs) {
         let mut per_op = rnuma::Machine::new(config).unwrap();
-        per_op.replay(&trace);
+        rnuma_bench::sweep::live_dispatch(&mut per_op, &trace);
         assert!(
             r.metrics.replay_eq(&per_op.metrics()),
             "sweep cell diverged from per-op replay on {}",

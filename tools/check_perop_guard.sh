@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Per-op replay guard: the per-op replay path is retired.
+#
+# `Machine::apply_op` is crate-private, and its only caller outside
+# `crates/core/src/machine.rs` (where the batched entry points' tracing
+# fallback lives) must remain the sharded executor's serial
+# between-window leg, `ShardedMachine::exec_blocking`. A new caller
+# means per-op dispatch crept back onto a replay path — replay through
+# `Machine::apply_batch` / `Machine::replay_segment` instead, or drive
+# the live API directly if you really are executing (not replaying).
+#
+# Usage: tools/check_perop_guard.sh
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# 1. The retired entry points must not be re-published (word-boundary
+#    match: the deleted replay_segments was generic, so the name may be
+#    followed by `<` rather than `(`).
+if grep -nE 'pub fn (apply_op|replay|replay_segments)\b' crates/core/src/machine.rs; then
+    echo "GUARD: a per-op replay entry point is public again on Machine"
+    fail=1
+fi
+
+# 2. apply_op callers outside machine.rs: exactly the exec_blocking
+#    site in shard.rs (comment lines don't count).
+callers=$(grep -rn 'apply_op' --include='*.rs' crates tests examples \
+    | grep -v '^crates/core/src/machine\.rs:' \
+    | grep -vE '^[^:]+:[0-9]+:\s*//')
+allowed='^crates/core/src/shard\.rs:[0-9]+:\s*self\.machine\.apply_op\(op\);$'
+bad=$(printf '%s\n' "$callers" | grep -vE "$allowed" | grep -v '^$')
+if [ -n "$bad" ]; then
+    echo "GUARD: new per-op replay caller(s) outside exec_blocking:"
+    echo "$bad"
+    fail=1
+fi
+count=$(printf '%s\n' "$callers" | grep -cE "$allowed")
+if [ "$count" -ne 1 ]; then
+    echo "GUARD: expected exactly one exec_blocking call site, found $count"
+    printf '%s\n' "$callers"
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "per-op replay guard FAILED"
+    exit 1
+fi
+echo "per-op replay guard OK (apply_op confined to machine.rs + exec_blocking)"
