@@ -1,7 +1,9 @@
 //! Runs every experiment (E1–E9) in order, forwarding `--scale`.
 //!
 //! Equivalent to invoking each per-figure binary; results land in
-//! `results/`.
+//! `results/`. Launch and experiment failures exit with status 1 after
+//! a one-line diagnostic — no backtrace to dig the failing binary out
+//! of.
 
 use std::process::Command;
 
@@ -18,17 +20,27 @@ const EXPERIMENTS: [&str; 10] = [
     "ablation_replacement",
 ];
 
+fn die(msg: &str) -> ! {
+    eprintln!("all_experiments: {msg}");
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let me = std::env::current_exe().expect("current exe path");
-    let bindir = me.parent().expect("exe has a parent dir");
+    let me = match std::env::current_exe() {
+        Ok(me) => me,
+        Err(err) => die(&format!("cannot resolve own executable path: {err}")),
+    };
+    let Some(bindir) = me.parent() else {
+        die("own executable path has no parent directory");
+    };
     for exp in EXPERIMENTS {
         println!("\n================ {exp} ================");
-        let status = Command::new(bindir.join(exp))
-            .args(&args)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
-        assert!(status.success(), "{exp} failed");
+        match Command::new(bindir.join(exp)).args(&args).status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => die(&format!("{exp} failed with {status}")),
+            Err(err) => die(&format!("failed to launch {exp}: {err}")),
+        }
     }
     println!("\nAll experiments complete; see results/ for reports.");
 }

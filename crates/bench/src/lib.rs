@@ -24,8 +24,10 @@
 
 use rnuma::config::{MachineConfig, Protocol};
 use rnuma::experiment::{
-    parallel_map, run, run_parallel, run_replayed, run_traced_env_checked, RunReport, TraceStore,
+    parallel_map, run, run_parallel, run_replayed, run_traced_env_checked, RunReport, SweepAbort,
+    TraceStore,
 };
+use rnuma::journal::{cell_key, Journal};
 use rnuma_workloads::{by_name, Scale, APP_NAMES};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -63,9 +65,18 @@ pub fn parse_scale(args: &[String]) -> Scale {
 /// under `crates/bench/results/`. Every emitter goes through here, so
 /// there is exactly one output directory now.
 ///
-/// # Panics
+/// Exits with status 1 after one line of diagnostic on stderr — how
+/// the figure binaries report emitter I/O failures (a full panic
+/// backtrace buries the actionable line: which path failed and why).
+fn die(context: &str, err: &std::io::Error) -> ! {
+    eprintln!("rnuma-bench: {context}: {err}");
+    std::process::exit(1);
+}
+
+/// # Exits
 ///
-/// Panics if the directory cannot be created.
+/// Exits the process with status 1 (one-line diagnostic on stderr) if
+/// the directory cannot be created.
 #[must_use]
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("RNUMA_RESULTS_DIR").map_or_else(
@@ -79,19 +90,60 @@ pub fn results_dir() -> PathBuf {
         },
         PathBuf::from,
     );
-    std::fs::create_dir_all(&dir).expect("cannot create results directory");
+    if let Err(err) = std::fs::create_dir_all(&dir) {
+        die(
+            &format!("cannot create results directory {}", dir.display()),
+            &err,
+        );
+    }
     dir
 }
 
 /// Writes `content` to `results/<name>` and echoes the path.
 ///
-/// # Panics
+/// # Exits
 ///
-/// Panics on I/O errors.
+/// Exits the process with status 1 (one-line diagnostic on stderr) on
+/// I/O errors.
 pub fn save(name: &str, content: &str) {
     let path = results_dir().join(name);
-    std::fs::write(&path, content).expect("cannot write results file");
+    if let Err(err) = std::fs::write(&path, content) {
+        die(&format!("cannot write {}", path.display()), &err);
+    }
     println!("[saved {}]", path.display());
+}
+
+/// Resolves `RNUMA_JOURNAL` the bench way: the literal value `1` means
+/// "the canonical sweep journal", `results/sweep_journal.jsonl` under
+/// [`results_dir`]; any other non-empty value is used as a path
+/// directly (the core semantics, [`Journal::from_env`]). Unset or
+/// empty means no journal. An unopenable journal warns once on stderr
+/// and disables checkpointing — a sweep must never fail because its
+/// crash-recovery aid did.
+#[must_use]
+pub fn sweep_journal_from_env() -> Option<Journal> {
+    let val = std::env::var("RNUMA_JOURNAL").ok()?;
+    if val.is_empty() {
+        return None;
+    }
+    let path = if val == "1" {
+        results_dir().join("sweep_journal.jsonl")
+    } else {
+        PathBuf::from(val)
+    };
+    match Journal::open(&path) {
+        Ok(journal) => Some(journal),
+        Err(err) => {
+            static WARN: std::sync::Once = std::sync::Once::new();
+            WARN.call_once(|| {
+                eprintln!(
+                    "RNUMA_JOURNAL: cannot open {} ({err}); checkpointing disabled",
+                    path.display()
+                );
+            });
+            None
+        }
+    }
 }
 
 /// Runs one `(application, protocol)` pair at `scale`.
@@ -256,10 +308,34 @@ pub fn sweep_grid(
         }
     }
     // Phase 3: replay every remaining (application, configuration) cell.
+    // With `RNUMA_JOURNAL` set, completed cells checkpoint into the
+    // sweep journal keyed by (workload, stream content hash, config):
+    // cells already journaled restore without re-simulation, so a
+    // sweep killed mid-run resumes where it died and finishes
+    // bit-identical to a clean one (see docs/ROBUSTNESS.md).
+    let journal = sweep_journal_from_env();
+    let abort = SweepAbort::from_env();
+    let hashes: Vec<u64> = ids.iter().map(|&id| store.content_hash(id)).collect();
     let cells: Vec<(usize, usize)> = (0..apps.len())
         .flat_map(|a| (1..configs.len()).map(move |c| (a, c)))
         .collect();
-    let replays = parallel_map(&cells, |&(a, c)| run_replayed(&store, ids[a], configs[c]));
+    let replays = parallel_map(&cells, |&(a, c)| {
+        let key = cell_key(store.workload(ids[a]), hashes[a], &configs[c]);
+        if let Some(metrics) = journal.as_ref().and_then(|j| j.lookup(key)) {
+            return RunReport {
+                workload: store.workload(ids[a]),
+                protocol: configs[c].protocol.label(),
+                config: configs[c],
+                metrics: metrics.clone(),
+            };
+        }
+        let report = run_replayed(&store, ids[a], configs[c]);
+        if let Some(journal) = journal.as_ref() {
+            journal.record(key, report.workload, report.protocol, &report.metrics);
+        }
+        abort.after_cell();
+        report
+    });
     for (&(a, _), report) in cells.iter().zip(replays) {
         rows[a].push(report);
     }

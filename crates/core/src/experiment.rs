@@ -35,13 +35,15 @@
 //! guarantees.
 
 use crate::config::MachineConfig;
+use crate::journal::{cell_key, Journal};
 use crate::machine::Machine;
 use crate::metrics::Metrics;
 use crate::program::{Runner, Workload};
 use crate::shard::{shards_from_env, split_cpu_runs, CpuRun, ShardPool, ShardedMachine, TraceOp};
 use rnuma_mem::fxmap::FxMap64;
+use rnuma_sim::fault::{FaultKind, FaultLog, FaultPlan};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 
 /// The result of one (configuration, workload) simulation.
 #[derive(Clone, Debug)]
@@ -428,6 +430,11 @@ pub struct TraceStore {
     interning: bool,
     /// Total ops captured, before interning.
     captured_ops: u64,
+    /// Deterministic fault plan for capture-time allocation pressure
+    /// (`RNUMA_FAULTS`, `pressure` kind); `None` when faults are off.
+    fault_plan: Option<FaultPlan>,
+    /// Injected faults this store absorbed.
+    fault_log: FaultLog,
 }
 
 impl Default for TraceStore {
@@ -448,7 +455,22 @@ impl TraceStore {
             traces: Vec::new(),
             interning: true,
             captured_ops: 0,
+            fault_plan: FaultPlan::from_env(),
+            fault_log: FaultLog::new(),
         }
+    }
+
+    /// Overrides the capture-pressure fault plan (tests; `new` reads
+    /// `RNUMA_FAULTS`). `None` disables injection.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// Injected faults this store absorbed (capture-time allocation
+    /// pressure downgrading interning to verbatim storage).
+    #[must_use]
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
     }
 
     /// An empty store that keeps every segment verbatim (no interning).
@@ -509,6 +531,25 @@ impl TraceStore {
 
     fn intern_segment(&mut self, chunk: &[TraceOp]) -> u32 {
         if self.interning {
+            if let Some(plan) = self.fault_plan.as_mut() {
+                if plan.should_fire(FaultKind::CapturePressure) {
+                    // Simulated allocation pressure: the dedup table
+                    // "fails to grow", so the store degrades to verbatim
+                    // segment storage from here on. Replay results are
+                    // identical either way — interning only affects
+                    // memory residency — so the sweep keeps its
+                    // bit-identical contract under this fault.
+                    self.interning = false;
+                    self.dedup = FxMap64::new();
+                    let index = self.segs.len() as u64;
+                    self.fault_log.record(
+                        FaultKind::CapturePressure,
+                        index,
+                        "dedup table allocation failed; interning disabled".to_string(),
+                    );
+                    return self.push_segment(chunk);
+                }
+            }
             let hash = seg_hash(chunk);
             // First-wins on hash collisions: a mismatching occupant just
             // costs this segment its dedup, never its correctness.
@@ -592,6 +633,27 @@ impl TraceStore {
     #[must_use]
     pub fn stored_ops(&self) -> u64 {
         self.arena.len() as u64
+    }
+
+    /// A stable content hash of the stream: the fold of its segments'
+    /// hashes in replay order, seeded with the op count. Two streams
+    /// hash equal iff their operation sequences are identical (modulo
+    /// hash collisions, which [`Journal`] keying tolerates the same way
+    /// interning does: a collision only risks a stale journal hit, and
+    /// journal cells additionally carry the configuration in their
+    /// key). This is what distinguishes `em3d@Tiny` from `em3d@Paper`
+    /// in a sweep journal — same workload name, different stream.
+    #[must_use]
+    pub fn content_hash(&self, id: TraceId) -> u64 {
+        const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+        let rec = self.rec(id);
+        let mut h = 0x6a09_e667_f3bc_c908u64 ^ rec.ops;
+        for &seg in &rec.segs {
+            h = (h ^ seg_hash(self.segment(seg)))
+                .wrapping_mul(MIX)
+                .rotate_left(23);
+        }
+        h
     }
 
     /// Replays the stream serially on a fresh machine built from
@@ -758,12 +820,101 @@ pub fn run_sweep<W: Workload + ?Sized>(
     configs: &[MachineConfig],
     workload: &mut W,
 ) -> Vec<RunReport> {
+    run_sweep_journaled(
+        configs,
+        workload,
+        Journal::from_env().as_ref(),
+        &SweepAbort::from_env(),
+    )
+}
+
+/// The sweep drivers' crash-injection point: fires [`FaultKind::SweepAbort`]
+/// decisions *after* completed cells, panicking the driver mid-sweep so the
+/// checkpoint/resume lane can prove a journal-resumed sweep is bit-identical
+/// to a clean one.
+///
+/// Decisions are taken in cell *completion* order, which under a parallel
+/// driver is nondeterministic — deliberately so: the resume contract must
+/// hold no matter where the sweep died.
+#[derive(Debug, Default)]
+pub struct SweepAbort(Mutex<Option<FaultPlan>>);
+
+impl SweepAbort {
+    /// An abort plan from `RNUMA_FAULTS` (inactive when unset or the
+    /// plan has no `abort` events/rates).
+    #[must_use]
+    pub fn from_env() -> SweepAbort {
+        SweepAbort(Mutex::new(FaultPlan::from_env()))
+    }
+
+    /// An abort point driven by an explicit plan (tests). `None` never
+    /// fires.
+    #[must_use]
+    pub fn with_plan(plan: Option<FaultPlan>) -> SweepAbort {
+        SweepAbort(Mutex::new(plan))
+    }
+
+    /// Takes one abort decision; panics with an "injected:" payload
+    /// when it fires. Call after each durably-completed unit of work.
+    ///
+    /// # Panics
+    ///
+    /// Panics — that is the injection — when the plan fires.
+    pub fn after_cell(&self) {
+        let mut guard = self
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(plan) = guard.as_mut() {
+            if plan.should_fire(FaultKind::SweepAbort) {
+                panic!("injected: sweep abort (checkpoint/resume drill)");
+            }
+        }
+    }
+}
+
+/// [`run_sweep`] with explicit checkpoint/resume plumbing: completed
+/// replay cells are appended to `journal` (keyed by workload, stream
+/// content hash and configuration), and cells already present in the
+/// journal are restored without re-simulation — so a sweep killed
+/// mid-run resumes where it died and finishes bit-identical to a clean
+/// run. `abort` is the crash-injection point exercising exactly that.
+///
+/// The capture cell is *not* journaled: re-running the workload is what
+/// regenerates the reference stream (deterministically), and the
+/// journal's keys depend on that stream's content hash.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty, a configuration fails validation, the
+/// configurations disagree on cluster shape — or when `abort` fires.
+pub fn run_sweep_journaled<W: Workload + ?Sized>(
+    configs: &[MachineConfig],
+    workload: &mut W,
+    journal: Option<&Journal>,
+    abort: &SweepAbort,
+) -> Vec<RunReport> {
     assert!(!configs.is_empty(), "need at least one configuration");
     let mut store = TraceStore::new();
     let (id, first) = store.capture(configs[0], workload);
+    let trace_hash = store.content_hash(id);
     let mut reports = vec![first];
     reports.extend(parallel_map(&configs[1..], |&config| {
-        run_replayed(&store, id, config)
+        let key = cell_key(store.workload(id), trace_hash, &config);
+        if let Some(metrics) = journal.and_then(|j| j.lookup(key)) {
+            return RunReport {
+                workload: store.workload(id),
+                protocol: config.protocol.label(),
+                config,
+                metrics: metrics.clone(),
+            };
+        }
+        let report = run_replayed(&store, id, config);
+        if let Some(journal) = journal {
+            journal.record(key, report.workload, report.protocol, &report.metrics);
+        }
+        abort.after_cell();
+        report
     }));
     reports
 }

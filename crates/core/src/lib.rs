@@ -73,6 +73,7 @@
 
 pub mod config;
 pub mod experiment;
+pub mod journal;
 pub mod machine;
 pub mod metrics;
 pub mod model;
@@ -82,11 +83,13 @@ pub mod shard;
 pub use config::{MachineConfig, Protocol};
 pub use experiment::{
     parallel_map, run, run_env_sharded, run_normalized, run_normalized_serial, run_parallel,
-    run_replayed, run_sharded_checked, run_sweep, run_traced, run_traced_env_checked,
-    NormalizedReport, RunReport, TraceId, TraceStore,
+    run_replayed, run_sharded_checked, run_sweep, run_sweep_journaled, run_traced,
+    run_traced_env_checked, NormalizedReport, RunReport, SweepAbort, TraceId, TraceStore,
 };
+pub use journal::{cell_key, Journal};
 pub use machine::Machine;
 pub use metrics::{Metrics, PageProfile};
 pub use model::ModelParams;
 pub use program::{Ctx, Region, Runner, Workload};
+pub use rnuma_sim::fault::{FaultEvent, FaultKind, FaultLog, FaultPlan};
 pub use shard::{shards_from_env, ShardPool, ShardStats, ShardedMachine, TraceOp};

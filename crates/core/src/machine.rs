@@ -86,6 +86,10 @@ impl MruTranslation {
 }
 
 /// One node of the machine.
+///
+/// `Clone` exists for the recovery snapshots the sharded executor takes
+/// before dispatching a window under an armed fault plan or watchdog.
+#[derive(Clone)]
 pub(crate) struct Node {
     l1s: Vec<L1Cache>,
     bus: Resource,
@@ -486,7 +490,7 @@ impl Machine {
 /// clocks, MRU slots, and NI ports in, the chunk travels to a pool
 /// worker as a plain owned value, and [`Machine::attach_shards`] moves
 /// the state back at the epoch barrier.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct ShardChunk {
     pub(crate) node_base: usize,
     pub(crate) cpu_base: usize,

@@ -67,10 +67,12 @@ use crate::metrics::Metrics;
 use rnuma_mem::addr::{CpuId, NodeId, VPage, Va};
 use rnuma_mem::fxmap::FxMap;
 use rnuma_proto::effect::EffectMsg;
+use rnuma_sim::fault::{FaultKind, FaultLog, FaultPlan};
 use rnuma_sim::{Cycles, EpochClock};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 /// One replayable machine-level operation.
 ///
@@ -243,7 +245,9 @@ fn extend_bucket_runs(runs: &mut Vec<BucketRun>, seq: u64, cpu: CpuId) {
 /// plus the run table the batched window kernel executes them through.
 /// Buckets persist across windows (cleared, not reallocated) and
 /// travel to pool workers inside [`Job`]s as plain owned values.
-#[derive(Debug, Default)]
+/// `Clone` exists for the pre-dispatch recovery snapshots taken under
+/// an armed fault plan or watchdog deadline.
+#[derive(Clone, Debug, Default)]
 struct Bucket {
     ops: Vec<TraceOp>,
     runs: Vec<BucketRun>,
@@ -291,6 +295,16 @@ pub struct ShardStats {
     pub serialized_ops: u64,
     /// Cross-shard directory effects replayed at epoch barriers.
     pub effects_applied: u64,
+    /// Window jobs recovered after a worker panic or watchdog timeout:
+    /// re-executed inline from the pre-dispatch snapshot, bit-identical
+    /// to an undisturbed execution.
+    pub recovered_jobs: u64,
+    /// Buckets executed inline on the coordinator because submission
+    /// failed (closed or poisoned job queue).
+    pub inline_fallbacks: u64,
+    /// Late replies from already-recovered (timed-out) jobs, discarded
+    /// by job id at a later barrier.
+    pub stale_replies: u64,
 }
 
 /// Footprint record of one page: which shards ever referenced it, and
@@ -336,6 +350,58 @@ enum Class {
     Blocking,
 }
 
+/// A typed worker-pool failure, as observed by the coordinator.
+///
+/// Channel sends, joins, and window outcomes surface as these instead
+/// of opaque `unwrap` panics, so the coordinator can decide between
+/// inline fallback, snapshot recovery, and (only when recovery is
+/// impossible) a diagnostic panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PoolError {
+    /// The pool has no workers: nothing can be submitted, windows run
+    /// inline on the coordinator.
+    NoWorkers,
+    /// The job queue is closed — the pool was poisoned
+    /// ([`ShardPool::poison`]) or is tearing down.
+    QueueClosed,
+    /// A worker panicked executing a window; the captured panic payload
+    /// is attached.
+    WorkerPanicked(String),
+    /// No reply arrived within the watchdog deadline (milliseconds).
+    DeadlineElapsed(u64),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::NoWorkers => write!(f, "shard pool has no workers"),
+            PoolError::QueueClosed => write!(f, "shard pool job queue is closed"),
+            PoolError::WorkerPanicked(payload) => {
+                write!(f, "shard worker panicked executing a window: {payload}")
+            }
+            PoolError::DeadlineElapsed(ms) => {
+                write!(f, "no worker reply within the {ms} ms window deadline")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A fault the coordinator asks a worker to exhibit on one job
+/// (decided coordinator-side from the [`FaultPlan`], so schedules stay
+/// deterministic regardless of worker interleaving).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Inject {
+    /// Panic before touching the chunk.
+    PanicBefore,
+    /// Panic after executing the window (chunk mutated, reply lost).
+    PanicAfter,
+    /// Execute, then sleep `ms` before replying (a hang past any
+    /// watchdog deadline).
+    Hang(u64),
+}
+
 /// One parallel-window assignment for a pool worker: a shard's owned
 /// state chunk, its op bucket (ops + run table), and the shared frozen
 /// home table. Everything is owned or `Arc`-shared, so the job crosses
@@ -346,16 +412,21 @@ struct Job {
     homes: Arc<Footprints>,
     chunk: ShardChunk,
     bucket: Bucket,
-    slot: usize,
+    /// Coordinator-unique id; the barrier matches replies by it and
+    /// discards stale replies of already-recovered (timed-out) jobs.
+    job_id: u64,
+    /// Injected fault for this job, if the coordinator's plan fired.
+    inject: Option<Inject>,
     reply: mpsc::Sender<Done>,
 }
 
 /// A worker's reply: the chunk and bucket come home at the epoch
-/// barrier. `outcome` is `Err` when the worker panicked mid-window (an
-/// executor bug); the coordinator re-panics.
+/// barrier. `outcome` carries the captured panic payload when the
+/// worker panicked mid-window; the coordinator recovers from its
+/// pre-dispatch snapshot (armed) or panics with a typed diagnostic.
 struct Done {
-    slot: usize,
-    outcome: Result<(ShardChunk, Bucket), ()>,
+    job_id: u64,
+    outcome: Result<(ShardChunk, Bucket), String>,
 }
 
 /// A persistent pool of parked shard workers.
@@ -392,8 +463,15 @@ struct Done {
 /// ```
 #[derive(Debug)]
 pub struct ShardPool {
-    queue: Option<mpsc::Sender<Job>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    /// `None` inside means the queue is closed: constructed worker-less,
+    /// poisoned, or tearing down. Submissions then fail with a typed
+    /// [`PoolError`] and the coordinator degrades to inline execution.
+    queue: Mutex<Option<mpsc::Sender<Job>>>,
+    /// The shared dequeue end, kept so dead workers can be respawned.
+    intake: Option<Arc<Mutex<mpsc::Receiver<Job>>>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Monotone worker-name counter (respawned workers get fresh names).
+    spawned: AtomicU64,
     jobs_executed: Arc<AtomicU64>,
 }
 
@@ -405,28 +483,78 @@ impl ShardPool {
         let jobs_executed = Arc::new(AtomicU64::new(0));
         if workers == 0 {
             return ShardPool {
-                queue: None,
-                workers: Vec::new(),
+                queue: Mutex::new(None),
+                intake: None,
+                workers: Mutex::new(Vec::new()),
+                spawned: AtomicU64::new(0),
                 jobs_executed,
             };
         }
         let (tx, rx) = mpsc::channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
-        let handles = (0..workers)
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                let counter = Arc::clone(&jobs_executed);
-                std::thread::Builder::new()
-                    .name(format!("rnuma-shard-{i}"))
-                    .spawn(move || worker_loop(&rx, &counter))
-                    .expect("cannot spawn shard worker")
-            })
-            .collect();
-        ShardPool {
-            queue: Some(tx),
-            workers: handles,
+        let pool = ShardPool {
+            queue: Mutex::new(Some(tx)),
+            intake: Some(Arc::new(Mutex::new(rx))),
+            workers: Mutex::new(Vec::new()),
+            spawned: AtomicU64::new(0),
             jobs_executed,
+        };
+        for _ in 0..workers {
+            pool.spawn_worker();
         }
+        pool
+    }
+
+    /// Spawns one more parked worker on the shared queue, reaping any
+    /// workers that already exited (a worker dies after a panicked
+    /// job). Returns `false` on an inline (zero-worker) pool, which has
+    /// no queue to park on. The coordinator uses this to replace a
+    /// worker that died executing a window.
+    pub fn respawn_worker(&self) -> bool {
+        {
+            let mut workers = self.lock_workers();
+            let mut i = 0;
+            while i < workers.len() {
+                if workers[i].is_finished() {
+                    let _ = workers.swap_remove(i).join();
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.spawn_worker()
+    }
+
+    fn spawn_worker(&self) -> bool {
+        let Some(intake) = &self.intake else {
+            return false;
+        };
+        let rx = Arc::clone(intake);
+        let counter = Arc::clone(&self.jobs_executed);
+        let i = self.spawned.fetch_add(1, Ordering::Relaxed);
+        let handle = std::thread::Builder::new()
+            .name(format!("rnuma-shard-{i}"))
+            .spawn(move || worker_loop(&rx, &counter))
+            .expect("cannot spawn shard worker");
+        self.lock_workers().push(handle);
+        true
+    }
+
+    fn lock_workers(&self) -> std::sync::MutexGuard<'_, Vec<std::thread::JoinHandle<()>>> {
+        self.workers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Closes the job queue: every subsequent dispatch
+    /// fails with [`PoolError::QueueClosed`] and workers exit once the
+    /// queue drains. A chaos hook (the [`FaultKind::Poison`] injection
+    /// point) that doubles as an orderly shutdown; coordinators degrade
+    /// to inline execution, so runs complete either way.
+    pub fn poison(&self) {
+        *self
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
     }
 
     /// The process-wide pool every [`ShardedMachine::new`] shares: one
@@ -459,10 +587,12 @@ impl ShardPool {
         Arc::clone(FORCED.get_or_init(|| Arc::new(ShardPool::new(2))))
     }
 
-    /// Number of worker threads (0 = every window runs inline).
+    /// Number of worker threads (0 = every window runs inline). Dead
+    /// workers are counted until [`respawn_worker`](Self::respawn_worker)
+    /// reaps them alongside spawning the replacement.
     #[must_use]
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.lock_workers().len()
     }
 
     /// Total jobs executed by pool workers since the pool was created
@@ -472,27 +602,64 @@ impl ShardPool {
         self.jobs_executed.load(Ordering::Relaxed)
     }
 
-    fn submit(&self, job: Job) {
-        self.queue
-            .as_ref()
-            .expect("submit on an inline (zero-worker) pool")
-            .send(job)
-            .expect("shard pool workers exited");
+    /// Ships a job to a parked worker, or hands it back with the typed
+    /// reason it cannot be shipped (no workers, or the queue is closed /
+    /// poisoned) so the coordinator can run the bucket inline instead.
+    ///
+    /// The `Err` variant intentionally carries the whole job (like
+    /// `mpsc::SendError`): the coordinator must get its chunk and
+    /// bucket back to fall back inline, and boxing the rejection path
+    /// would put an allocation on every dispatch for the sake of the
+    /// cold one.
+    #[allow(clippy::result_large_err)]
+    fn submit(&self, job: Job) -> Result<(), (PoolError, Job)> {
+        let queue = self
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match queue.as_ref() {
+            None if self.intake.is_none() => Err((PoolError::NoWorkers, job)),
+            None => Err((PoolError::QueueClosed, job)),
+            Some(tx) => tx
+                .send(job)
+                .map_err(|mpsc::SendError(job)| (PoolError::QueueClosed, job)),
+        }
     }
 }
 
 impl Drop for ShardPool {
     fn drop(&mut self) {
         // Closing the queue wakes every parked worker with a recv error.
-        self.queue = None;
-        for handle in self.workers.drain(..) {
+        *self
+            .queue
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+        let workers = self
+            .workers
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for handle in workers.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
+/// Renders a captured panic payload for the coordinator's fault log.
+fn panic_payload(err: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = err.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = err.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The parked-worker loop: receive a job, run its bucket over its owned
-/// chunk, send everything home.
+/// chunk, send everything home. A panic mid-window (real, or injected
+/// by the job's fault plan decision) is captured and reported, and the
+/// worker thread *exits* — modelling a crashed component — leaving the
+/// coordinator to respawn a replacement and recover the window.
 fn worker_loop(queue: &Mutex<mpsc::Receiver<Job>>, jobs_executed: &AtomicU64) {
     loop {
         // Hold the lock only while dequeuing, not while executing.
@@ -515,23 +682,49 @@ fn worker_loop(queue: &Mutex<mpsc::Receiver<Job>>, jobs_executed: &AtomicU64) {
             homes,
             mut chunk,
             bucket,
-            slot,
+            job_id,
+            inject,
             reply,
         } = job;
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if inject == Some(Inject::PanicBefore) {
+                panic!("injected: worker panic before window (epoch {epoch})");
+            }
             let mut lane = chunk.lanes(&cfg, &homes, epoch);
             lane.run_batch(&bucket.ops, &bucket.runs);
+            if inject == Some(Inject::PanicAfter) {
+                panic!("injected: worker panic after window (epoch {epoch})");
+            }
         }));
         // Drop the shared home view *before* replying: once the
         // coordinator has collected every reply, it is again the sole
         // owner and may extend the table in place.
         drop(homes);
         jobs_executed.fetch_add(1, Ordering::Relaxed);
-        let outcome = match run {
-            Ok(()) => Ok((chunk, bucket)),
-            Err(_) => Err(()),
-        };
-        let _ = reply.send(Done { slot, outcome });
+        if let Some(Inject::Hang(ms)) = inject {
+            // An injected hang: the window is done but the reply is
+            // late. The coordinator's watchdog recovers the window and
+            // discards this reply as stale by job id.
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        match run {
+            Ok(()) => {
+                let _ = reply.send(Done {
+                    job_id,
+                    outcome: Ok((chunk, bucket)),
+                });
+            }
+            Err(err) => {
+                // The chunk may be mid-window; report the payload and
+                // die. Recovery happens coordinator-side from the
+                // pre-dispatch snapshot.
+                let _ = reply.send(Done {
+                    job_id,
+                    outcome: Err(panic_payload(err.as_ref())),
+                });
+                return;
+            }
+        }
     }
 }
 
@@ -579,6 +772,27 @@ pub struct ShardedMachine {
     reply_tx: mpsc::Sender<Done>,
     reply_rx: mpsc::Receiver<Done>,
     stats: ShardStats,
+    /// Deterministic fault schedule (`RNUMA_FAULTS`, or
+    /// [`set_fault_plan`](Self::set_fault_plan)); `None` = no injection.
+    fault_plan: Option<FaultPlan>,
+    /// Watchdog: max milliseconds to wait for any worker reply at a
+    /// window barrier (`RNUMA_WINDOW_DEADLINE_MS`, default off).
+    deadline_ms: Option<u64>,
+    /// Faults this machine absorbed (panics recovered, hangs timed out,
+    /// submissions degraded to inline).
+    fault_log: FaultLog,
+    /// Monotone job-id source for stale-reply discrimination.
+    next_job_id: u64,
+}
+
+/// A dispatched-but-unresolved window job the barrier is waiting on:
+/// its id, its shard slot, what was injected, and — when the executor
+/// is armed — the pre-dispatch snapshot exact recovery re-executes.
+struct Pending {
+    job_id: u64,
+    slot: usize,
+    inject: Option<Inject>,
+    snapshot: Option<(ShardChunk, Bucket)>,
 }
 
 impl ShardedMachine {
@@ -633,8 +847,45 @@ impl ShardedMachine {
             reply_tx,
             reply_rx,
             stats: ShardStats::default(),
+            fault_plan: FaultPlan::from_env(),
+            deadline_ms: window_deadline_from_env(),
+            fault_log: FaultLog::new(),
+            next_job_id: 0,
             ranges,
         })
+    }
+
+    /// Installs (or clears) a deterministic fault schedule for this
+    /// machine's windows, replacing whatever `RNUMA_FAULTS` configured.
+    /// A non-`None` plan arms pre-dispatch snapshots, so every injected
+    /// (or real) worker fault recovers to bit-identical metrics.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// Sets (or clears) the per-window watchdog deadline in
+    /// milliseconds, replacing whatever `RNUMA_WINDOW_DEADLINE_MS`
+    /// configured. A deadline arms pre-dispatch snapshots; a window
+    /// whose workers do not reply in time is re-executed inline from
+    /// the snapshot, and late replies are discarded.
+    pub fn set_window_deadline_ms(&mut self, ms: Option<u64>) {
+        self.deadline_ms = ms.filter(|&ms| ms > 0);
+    }
+
+    /// The faults this machine has absorbed so far: recovered worker
+    /// panics, timed-out windows, and submissions that degraded to
+    /// inline execution. Empty on an undisturbed run.
+    #[must_use]
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
+    }
+
+    /// True when window dispatch must take recovery snapshots: some
+    /// fault source is armed (an injection plan or a watchdog
+    /// deadline). Un-armed runs skip the clone entirely, so the hooks
+    /// cost nothing in production.
+    fn armed(&self) -> bool {
+        self.fault_plan.is_some() || self.deadline_ms.is_some()
     }
 
     /// Number of shards the node space is partitioned into.
@@ -804,9 +1055,10 @@ impl ShardedMachine {
         // workers. Empty-bucket chunks never leave the coordinator.
         let epoch = self.epochs.current().0;
         let cfg = *self.machine.config();
+        let armed = self.armed();
         self.machine.detach_shards(&self.ranges, &mut self.chunks);
         let mut inline_shard = None;
-        let mut outstanding = 0usize;
+        let mut pending: Vec<Pending> = Vec::new();
         for s in 0..self.ranges.len() {
             if self.op_buckets[s].is_empty() {
                 continue;
@@ -815,19 +1067,72 @@ impl ShardedMachine {
                 inline_shard = Some(s);
                 continue;
             }
+            // Fault decisions are made coordinator-side, in dispatch
+            // order, so the schedule is a pure function of the plan —
+            // workers just obey the job's inject flag.
+            if let Some(plan) = &mut self.fault_plan {
+                if plan.should_fire(FaultKind::Poison) {
+                    self.pool.poison();
+                }
+            }
+            let inject = self.fault_plan.as_mut().and_then(|plan| {
+                if plan.should_fire(FaultKind::PanicBefore) {
+                    Some(Inject::PanicBefore)
+                } else if plan.should_fire(FaultKind::PanicAfter) {
+                    Some(Inject::PanicAfter)
+                } else if plan.should_fire(FaultKind::Hang) {
+                    Some(Inject::Hang(plan.hang_ms()))
+                } else {
+                    None
+                }
+            });
             let chunk = std::mem::take(&mut self.chunks[s]);
             let bucket = std::mem::take(&mut self.op_buckets[s]);
-            self.pool.submit(Job {
+            // Armed executions snapshot (chunk, bucket) before dispatch:
+            // a window is self-contained given (cfg, homes, epoch), so
+            // re-executing the snapshot inline reproduces the worker's
+            // result exactly. Un-armed runs skip the clone.
+            let snapshot = armed.then(|| (chunk.clone(), bucket.clone()));
+            let job_id = self.next_job_id;
+            self.next_job_id += 1;
+            match self.pool.submit(Job {
                 cfg,
                 epoch,
                 homes: Arc::clone(&self.footprints),
                 chunk,
                 bucket,
-                slot: s,
+                job_id,
+                inject,
                 reply: self.reply_tx.clone(),
-            });
-            outstanding += 1;
-            self.stats.pool_jobs += 1;
+            }) {
+                Ok(()) => {
+                    pending.push(Pending {
+                        job_id,
+                        slot: s,
+                        inject,
+                        snapshot,
+                    });
+                    self.stats.pool_jobs += 1;
+                }
+                Err((err, job)) => {
+                    // Typed submission failure (no workers, poisoned or
+                    // closed queue): the job comes back and its bucket
+                    // runs inline on the coordinator — degraded, never
+                    // aborted, results unchanged.
+                    let Job {
+                        mut chunk, bucket, ..
+                    } = job;
+                    {
+                        let mut lane = chunk.lanes(&cfg, &self.footprints, epoch);
+                        lane.run_batch(&bucket.ops, &bucket.runs);
+                    }
+                    self.chunks[s] = chunk;
+                    self.op_buckets[s] = bucket;
+                    self.stats.inline_fallbacks += 1;
+                    self.fault_log
+                        .record(FaultKind::Poison, job_id, err.to_string());
+                }
+            }
         }
         if let Some(s) = inline_shard {
             let bucket = &self.op_buckets[s];
@@ -835,17 +1140,52 @@ impl ShardedMachine {
             lane.run_batch(&bucket.ops, &bucket.runs);
         }
 
-        // Epoch barrier: every chunk comes home, then buffered
-        // cross-shard directory effects replay in canonical
-        // (epoch, home, seq) order.
-        while outstanding > 0 {
-            let done = self.reply_rx.recv().expect("shard pool workers exited");
-            let (chunk, bucket) = done
-                .outcome
-                .unwrap_or_else(|()| panic!("shard worker panicked executing a window"));
-            self.chunks[done.slot] = chunk;
-            self.op_buckets[done.slot] = bucket;
-            outstanding -= 1;
+        // Epoch barrier: every chunk comes home — from its worker, or
+        // re-executed from its pre-dispatch snapshot when the worker
+        // panicked or the watchdog fired — then buffered cross-shard
+        // directory effects replay in canonical (epoch, home, seq)
+        // order.
+        while !pending.is_empty() {
+            let done = match self.deadline_ms {
+                None => match self.reply_rx.recv() {
+                    Ok(done) => done,
+                    Err(_) => unreachable!("coordinator holds a reply sender"),
+                },
+                Some(ms) => match self.reply_rx.recv_timeout(Duration::from_millis(ms)) {
+                    Ok(done) => done,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        // Watchdog: every still-pending job is presumed
+                        // hung. Recover them all from their snapshots;
+                        // late replies are discarded by job id.
+                        for p in std::mem::take(&mut pending) {
+                            self.recover_window(p, &cfg, epoch, &PoolError::DeadlineElapsed(ms));
+                        }
+                        break;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        unreachable!("coordinator holds a reply sender")
+                    }
+                },
+            };
+            let Some(at) = pending.iter().position(|p| p.job_id == done.job_id) else {
+                // A late reply from a job the watchdog already
+                // recovered (possibly in an earlier window): drop it.
+                self.stats.stale_replies += 1;
+                continue;
+            };
+            let p = pending.swap_remove(at);
+            match done.outcome {
+                Ok((chunk, bucket)) => {
+                    self.chunks[p.slot] = chunk;
+                    self.op_buckets[p.slot] = bucket;
+                }
+                Err(payload) => {
+                    // The worker died on this job: replace it, then
+                    // recover the window exactly.
+                    self.pool.respawn_worker();
+                    self.recover_window(p, &cfg, epoch, &PoolError::WorkerPanicked(payload));
+                }
+            }
         }
         self.machine.attach_shards(&mut self.chunks);
 
@@ -863,6 +1203,41 @@ impl ShardedMachine {
         for msg in effects.drain(..) {
             self.machine.dir_mut(msg.key.home).apply(msg.effect);
         }
+    }
+
+    /// Exact recovery of one dispatched window job: re-executes its
+    /// bucket from the pre-dispatch snapshot on the coordinator — the
+    /// same batched kernel, same frozen homes, same epoch — so the
+    /// recovered chunk is bit-identical to what an undisturbed worker
+    /// would have returned. The faulty worker's copy of the state (mid-
+    /// window, or merely late) is discarded wholesale.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the typed [`PoolError`] when the executor was not
+    /// armed: a real worker panic without a snapshot cannot be
+    /// recovered exactly, so surfacing the bug beats silently
+    /// diverging.
+    fn recover_window(&mut self, p: Pending, cfg: &MachineConfig, epoch: u64, err: &PoolError) {
+        let Some((mut chunk, bucket)) = p.snapshot else {
+            panic!(
+                "{err}; no recovery snapshot was armed (set RNUMA_FAULTS or \
+                 RNUMA_WINDOW_DEADLINE_MS to enable exact self-healing)"
+            );
+        };
+        {
+            let mut lane = chunk.lanes(cfg, &self.footprints, epoch);
+            lane.run_batch(&bucket.ops, &bucket.runs);
+        }
+        self.chunks[p.slot] = chunk;
+        self.op_buckets[p.slot] = bucket;
+        self.stats.recovered_jobs += 1;
+        let kind = match (err, p.inject) {
+            (PoolError::DeadlineElapsed(_), _) => FaultKind::Hang,
+            (_, Some(Inject::PanicBefore)) => FaultKind::PanicBefore,
+            _ => FaultKind::PanicAfter,
+        };
+        self.fault_log.record(kind, p.job_id, err.to_string());
     }
 
     fn exec_blocking(&mut self, op: &TraceOp) {
@@ -946,6 +1321,32 @@ pub fn shards_from_env() -> Option<usize> {
                 eprintln!(
                     "rnuma: RNUMA_SHARDS={raw:?} is not a shard count \
                      (want 1..={MAX_SHARDS}); sharding disabled"
+                );
+            });
+            None
+        }
+    }
+}
+
+/// The per-window watchdog deadline requested via
+/// `RNUMA_WINDOW_DEADLINE_MS`, if any.
+///
+/// Unset means "no watchdog" (the default: barriers wait indefinitely,
+/// as a correct pool always replies). A value that is set but not a
+/// usable deadline — `0` or anything unparsable — is a
+/// misconfiguration: a warning is printed to stderr (once per process)
+/// and the watchdog stays off, mirroring `RNUMA_SHARDS` semantics.
+#[must_use]
+pub fn window_deadline_from_env() -> Option<u64> {
+    let raw = std::env::var("RNUMA_WINDOW_DEADLINE_MS").ok()?;
+    match raw.parse::<u64>() {
+        Ok(ms) if ms > 0 => Some(ms),
+        _ => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "rnuma: RNUMA_WINDOW_DEADLINE_MS={raw:?} is not a positive \
+                     millisecond count; window watchdog disabled"
                 );
             });
             None

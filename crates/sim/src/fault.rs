@@ -1,0 +1,442 @@
+//! Deterministic fault injection for the execution layer.
+//!
+//! A [`FaultPlan`] is a seeded, reproducible schedule of faults: each
+//! *injection point* in the execution layer (worker panic, worker hang,
+//! channel poisoning, capture-time allocation pressure, sweep abort)
+//! asks the plan [`FaultPlan::should_fire`] at every decision, and the
+//! plan answers from either an explicit `kind@index` event list or a
+//! per-kind probability derived from the plan seed via [`DetRng`].
+//! Identical plans therefore produce identical fault schedules — the
+//! property the `fault_recovery` differential suite is built on: a run
+//! under any plan must recover to metrics bit-identical to a fault-free
+//! run.
+//!
+//! Plans are configured programmatically or through the `RNUMA_FAULTS`
+//! environment variable (see [`FaultPlan::parse`] for the grammar).
+//! Faults that actually fired are recorded in a [`FaultLog`] by the
+//! recovering coordinator, so tests and operators can distinguish
+//! "no fault occurred" from "fault occurred and was healed".
+
+use crate::DetRng;
+use std::fmt;
+
+/// An injection point in the execution layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A pool worker panics *before* executing a window job (chunk state
+    /// still pristine on the worker side; the job is lost wholesale).
+    PanicBefore,
+    /// A pool worker panics *after* executing a window job but before
+    /// replying (chunk state mutated and lost mid-window).
+    PanicAfter,
+    /// A pool worker hangs (sleeps past the watchdog deadline) instead
+    /// of replying.
+    Hang,
+    /// The pool's job channel is poisoned (closed) ahead of a
+    /// submission, as if the pool had torn down underneath the
+    /// coordinator.
+    Poison,
+    /// Capture-time allocation pressure: the trace interner's dedup
+    /// table "fails to grow" and interning degrades for the rest of the
+    /// capture.
+    CapturePressure,
+    /// The sweep driver aborts mid-run after a completed cell — the
+    /// checkpoint/resume injection point.
+    SweepAbort,
+}
+
+/// Every kind, in counter order.
+const KINDS: [FaultKind; 6] = [
+    FaultKind::PanicBefore,
+    FaultKind::PanicAfter,
+    FaultKind::Hang,
+    FaultKind::Poison,
+    FaultKind::CapturePressure,
+    FaultKind::SweepAbort,
+];
+
+impl FaultKind {
+    /// The spec-grammar token for this kind (also the display form).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::PanicBefore => "panic_before",
+            FaultKind::PanicAfter => "panic_after",
+            FaultKind::Hang => "hang",
+            FaultKind::Poison => "poison",
+            FaultKind::CapturePressure => "pressure",
+            FaultKind::SweepAbort => "abort",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<FaultKind> {
+        KINDS.iter().copied().find(|k| k.label() == s)
+    }
+
+    fn slot(self) -> usize {
+        KINDS.iter().position(|&k| k == self).unwrap()
+    }
+
+    /// A per-kind salt so the probabilistic streams of different kinds
+    /// are independent even under one seed.
+    fn salt(self) -> u64 {
+        // Arbitrary odd constants; fixed forever for reproducibility.
+        [
+            0xA076_1D64_78BD_642F,
+            0xE703_7ED1_A0B4_28DB,
+            0x8EBC_6AF0_9C88_C6E3,
+            0x5898_99F5_E2B1_8225,
+            0x2D35_8DCC_AA6C_78A5,
+            0x9E6C_63D0_A0FF_9527,
+        ][self.slot()]
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A deterministic, seeded fault schedule.
+///
+/// Decisions are counted per kind: the `n`-th call to
+/// [`should_fire`](Self::should_fire) for a kind fires if the plan
+/// carries an explicit `kind@n` event, or — when the kind has a rate —
+/// with that probability, derived purely from `(seed, kind, n)` so the
+/// schedule is independent of thread interleaving.
+///
+/// # Example
+///
+/// ```
+/// use rnuma_sim::fault::{FaultKind, FaultPlan};
+///
+/// let mut plan = FaultPlan::parse("seed=7,panic_before@1,hang_ms=50").unwrap();
+/// assert!(!plan.should_fire(FaultKind::PanicBefore)); // decision 0
+/// assert!(plan.should_fire(FaultKind::PanicBefore)); // decision 1
+/// assert!(!plan.should_fire(FaultKind::PanicBefore)); // decision 2
+/// assert_eq!(plan.hang_ms(), 50);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<(FaultKind, u64)>,
+    rates: [f64; KINDS.len()],
+    hang_ms: u64,
+    counters: [u64; KINDS.len()],
+}
+
+impl FaultPlan {
+    /// An empty plan (never fires) under the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+            rates: [0.0; KINDS.len()],
+            hang_ms: 10,
+            counters: [0; KINDS.len()],
+        }
+    }
+
+    /// Adds an explicit event: the `index`-th decision for `kind` fires.
+    #[must_use]
+    pub fn at(mut self, kind: FaultKind, index: u64) -> FaultPlan {
+        self.events.push((kind, index));
+        self
+    }
+
+    /// Sets a per-decision firing probability for `kind`.
+    #[must_use]
+    pub fn rate(mut self, kind: FaultKind, p: f64) -> FaultPlan {
+        self.rates[kind.slot()] = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets how long an injected [`FaultKind::Hang`] sleeps, in
+    /// milliseconds (default 10).
+    #[must_use]
+    pub fn with_hang_ms(mut self, ms: u64) -> FaultPlan {
+        self.hang_ms = ms;
+        self
+    }
+
+    /// The injected-hang sleep duration in milliseconds.
+    #[must_use]
+    pub fn hang_ms(&self) -> u64 {
+        self.hang_ms
+    }
+
+    /// True if the plan can never fire anything.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.rates.iter().all(|&r| r == 0.0)
+    }
+
+    /// Parses a plan spec.
+    ///
+    /// The grammar is a comma- (or whitespace-) separated token list:
+    ///
+    /// * `seed=<u64>` — plan seed (default 0);
+    /// * `hang_ms=<u64>` — injected-hang duration (default 10);
+    /// * `<kind>@<n>` — the `n`-th decision for `<kind>` fires;
+    /// * `<kind>~<p>` — each decision for `<kind>` fires with
+    ///   probability `<p>`.
+    ///
+    /// Kinds: `panic_before`, `panic_after`, `hang`, `poison`,
+    /// `pressure`, `abort`. An empty spec parses to an empty plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description of the first malformed token.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new(0);
+        for token in spec
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|t| !t.is_empty())
+        {
+            if let Some(v) = token.strip_prefix("seed=") {
+                plan.seed = v
+                    .parse()
+                    .map_err(|_| format!("bad seed in RNUMA_FAULTS token '{token}'"))?;
+            } else if let Some(v) = token.strip_prefix("hang_ms=") {
+                plan.hang_ms = v
+                    .parse()
+                    .map_err(|_| format!("bad hang_ms in RNUMA_FAULTS token '{token}'"))?;
+            } else if let Some((kind, idx)) = token.split_once('@') {
+                let kind = FaultKind::from_label(kind)
+                    .ok_or_else(|| format!("unknown fault kind in token '{token}'"))?;
+                let idx = idx
+                    .parse()
+                    .map_err(|_| format!("bad index in token '{token}'"))?;
+                plan.events.push((kind, idx));
+            } else if let Some((kind, p)) = token.split_once('~') {
+                let kind = FaultKind::from_label(kind)
+                    .ok_or_else(|| format!("unknown fault kind in token '{token}'"))?;
+                let p: f64 = p
+                    .parse()
+                    .map_err(|_| format!("bad probability in token '{token}'"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("probability out of [0,1] in token '{token}'"));
+                }
+                plan.rates[kind.slot()] = p;
+            } else {
+                return Err(format!("unparsable RNUMA_FAULTS token '{token}'"));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The plan configured by the `RNUMA_FAULTS` environment variable,
+    /// if any. Unset or empty means no plan; a malformed spec warns on
+    /// stderr once per process and also means no plan (misconfiguration
+    /// must not abort a run, matching `RNUMA_SHARDS` semantics).
+    #[must_use]
+    pub fn from_env() -> Option<FaultPlan> {
+        let spec = std::env::var("RNUMA_FAULTS").ok()?;
+        if spec.trim().is_empty() {
+            return None;
+        }
+        match FaultPlan::parse(&spec) {
+            Ok(plan) if plan.is_empty() => None,
+            Ok(plan) => Some(plan),
+            Err(msg) => {
+                static WARN: std::sync::Once = std::sync::Once::new();
+                WARN.call_once(|| {
+                    eprintln!("warning: ignoring RNUMA_FAULTS ({msg})");
+                });
+                None
+            }
+        }
+    }
+
+    /// Decides whether the next decision for `kind` fires, advancing
+    /// that kind's decision counter.
+    pub fn should_fire(&mut self, kind: FaultKind) -> bool {
+        let idx = self.counters[kind.slot()];
+        self.counters[kind.slot()] = idx + 1;
+        if self.events.iter().any(|&(k, i)| k == kind && i == idx) {
+            return true;
+        }
+        let p = self.rates[kind.slot()];
+        if p > 0.0 {
+            // Seed per (plan, kind, decision): the outcome depends only
+            // on the triple, never on call interleaving across kinds.
+            let s = self
+                .seed
+                .wrapping_add(kind.salt())
+                .wrapping_add(idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            return DetRng::seeded(s).chance(p);
+        }
+        false
+    }
+
+    /// How many decisions have been made for `kind`.
+    #[must_use]
+    pub fn decisions(&self, kind: FaultKind) -> u64 {
+        self.counters[kind.slot()]
+    }
+}
+
+/// One fault that actually fired and was handled.
+#[derive(Clone, Debug)]
+pub struct FaultEvent {
+    /// The injection point that fired.
+    pub kind: FaultKind,
+    /// The per-kind decision index at which it fired.
+    pub index: u64,
+    /// Human-readable context from the recovery site (e.g. the captured
+    /// panic payload, or which window was re-executed).
+    pub detail: String,
+}
+
+/// The record of faults a run absorbed.
+///
+/// An empty log after a run under a non-empty plan means the plan's
+/// events never reached an armed injection point; a non-empty log plus
+/// bit-identical metrics is the self-healing contract.
+#[derive(Clone, Debug, Default)]
+pub struct FaultLog {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> FaultLog {
+        FaultLog::default()
+    }
+
+    /// Records a handled fault.
+    pub fn record(&mut self, kind: FaultKind, index: u64, detail: impl Into<String>) {
+        self.events.push(FaultEvent {
+            kind,
+            index,
+            detail: detail.into(),
+        });
+    }
+
+    /// All handled faults, in handling order.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// How many handled faults were of `kind`.
+    #[must_use]
+    pub fn count(&self, kind: FaultKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Total handled faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing fired.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Absorbs another log's events (used when merging per-phase logs).
+    pub fn merge(&mut self, other: FaultLog) {
+        self.events.extend(other.events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_empty_plan() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(plan.is_empty());
+        let plan = FaultPlan::parse(" , ,, ").unwrap();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn explicit_events_fire_at_their_index_only() {
+        let mut plan = FaultPlan::parse("panic_after@0,panic_after@2").unwrap();
+        assert!(plan.should_fire(FaultKind::PanicAfter));
+        assert!(!plan.should_fire(FaultKind::PanicAfter));
+        assert!(plan.should_fire(FaultKind::PanicAfter));
+        assert!(!plan.should_fire(FaultKind::PanicAfter));
+        // Other kinds are untouched.
+        assert!(!plan.should_fire(FaultKind::Hang));
+        assert_eq!(plan.decisions(FaultKind::PanicAfter), 4);
+        assert_eq!(plan.decisions(FaultKind::Hang), 1);
+    }
+
+    #[test]
+    fn rates_are_deterministic_and_interleaving_independent() {
+        let spec = "seed=11,hang~0.5,poison~0.5";
+        // Same plan, same per-kind decision sequence, regardless of how
+        // calls to the two kinds interleave.
+        let mut a = FaultPlan::parse(spec).unwrap();
+        let mut b = FaultPlan::parse(spec).unwrap();
+        let seq_a: Vec<bool> = (0..64).map(|_| a.should_fire(FaultKind::Hang)).collect();
+        let mut seq_b = Vec::new();
+        for _ in 0..64 {
+            b.should_fire(FaultKind::Poison); // interleaved other-kind traffic
+            seq_b.push(b.should_fire(FaultKind::Hang));
+        }
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|&f| f), "p=0.5 over 64 draws should fire");
+        assert!(!seq_a.iter().all(|&f| f));
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let mut a = FaultPlan::new(1).rate(FaultKind::Hang, 0.5);
+        let mut b = FaultPlan::new(2).rate(FaultKind::Hang, 0.5);
+        let sa: Vec<bool> = (0..64).map(|_| a.should_fire(FaultKind::Hang)).collect();
+        let sb: Vec<bool> = (0..64).map(|_| b.should_fire(FaultKind::Hang)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_tokens() {
+        for bad in [
+            "bogus",
+            "panic_before@x",
+            "nope@3",
+            "hang~banana",
+            "hang~1.5",
+            "seed=pear",
+            "hang_ms=-1",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn parse_full_grammar() {
+        let mut plan =
+            FaultPlan::parse("seed=9 hang_ms=25, panic_before@0, pressure~1.0, abort@1").unwrap();
+        assert_eq!(plan.hang_ms(), 25);
+        assert!(plan.should_fire(FaultKind::PanicBefore));
+        assert!(plan.should_fire(FaultKind::CapturePressure)); // p=1
+        assert!(!plan.should_fire(FaultKind::SweepAbort));
+        assert!(plan.should_fire(FaultKind::SweepAbort));
+    }
+
+    #[test]
+    fn log_counts_by_kind() {
+        let mut log = FaultLog::new();
+        assert!(log.is_empty());
+        log.record(FaultKind::Hang, 3, "worker 1 hung");
+        log.record(FaultKind::PanicBefore, 0, "payload");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.count(FaultKind::Hang), 1);
+        assert_eq!(log.count(FaultKind::Poison), 0);
+        assert_eq!(log.events()[0].index, 3);
+        let mut other = FaultLog::new();
+        other.record(FaultKind::Poison, 0, "queue closed");
+        log.merge(other);
+        assert_eq!(log.count(FaultKind::Poison), 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Robustness environment plumbing: `RNUMA_FAULTS`,
+//! `RNUMA_WINDOW_DEADLINE_MS`, and `RNUMA_JOURNAL` parsing — plus the
+//! CLI contracts of the figure binaries (warn-once misconfiguration on
+//! stderr; one-line diagnostic and nonzero exit on emitter I/O
+//! failure; fault plans never abort a figure run).
+//!
+//! The in-process tests mutate the environment, so they live in their
+//! own binary and one `#[test]` owns all the scenarios. The subprocess
+//! tests use `env_clear()` and are hermetic.
+
+use rnuma::shard::window_deadline_from_env;
+use rnuma::{FaultKind, FaultPlan, Journal};
+use std::process::Command;
+
+fn with_var<R>(name: &str, value: Option<&str>, body: impl FnOnce() -> R) -> R {
+    // Restore (not just remove) afterwards: the CI chaos lane exports
+    // these very variables around this whole binary.
+    let prev = std::env::var_os(name);
+    match value {
+        Some(v) => std::env::set_var(name, v),
+        None => std::env::remove_var(name),
+    }
+    let out = body();
+    match prev {
+        Some(v) => std::env::set_var(name, v),
+        None => std::env::remove_var(name),
+    }
+    out
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rnuma-robust-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One test owns every env-mutation scenario (shared process).
+#[test]
+fn robustness_env_plumbing() {
+    // RNUMA_FAULTS: unset and empty mean no plan; a plan string builds
+    // the described plan; a malformed string disables injection
+    // (warn-once) rather than crashing.
+    with_var("RNUMA_FAULTS", None, || {
+        assert!(FaultPlan::from_env().is_none())
+    });
+    with_var("RNUMA_FAULTS", Some(""), || {
+        assert!(FaultPlan::from_env().is_none());
+    });
+    with_var("RNUMA_FAULTS", Some("panic_before@0,seed=7"), || {
+        let mut plan = FaultPlan::from_env().expect("well-formed plan");
+        assert!(!plan.is_empty());
+        assert!(
+            plan.should_fire(FaultKind::PanicBefore),
+            "pinned event at decision 0"
+        );
+    });
+    with_var("RNUMA_FAULTS", Some("hang~0.5,hang_ms=25,seed=9"), || {
+        let plan = FaultPlan::from_env().expect("well-formed plan");
+        assert_eq!(plan.hang_ms(), 25);
+    });
+    with_var("RNUMA_FAULTS", Some("banana"), || {
+        assert!(FaultPlan::from_env().is_none());
+    });
+
+    // RNUMA_WINDOW_DEADLINE_MS mirrors RNUMA_SHARDS semantics: unset
+    // off; positive integer on; zero/garbage = warn-once + off.
+    with_var("RNUMA_WINDOW_DEADLINE_MS", None, || {
+        assert_eq!(window_deadline_from_env(), None);
+    });
+    with_var("RNUMA_WINDOW_DEADLINE_MS", Some("50"), || {
+        assert_eq!(window_deadline_from_env(), Some(50));
+    });
+    with_var("RNUMA_WINDOW_DEADLINE_MS", Some("0"), || {
+        assert_eq!(window_deadline_from_env(), None);
+    });
+    with_var("RNUMA_WINDOW_DEADLINE_MS", Some("soon"), || {
+        assert_eq!(window_deadline_from_env(), None);
+    });
+
+    // RNUMA_JOURNAL: core treats the value as a path; bench resolves
+    // the literal "1" to results/sweep_journal.jsonl; an unopenable
+    // journal (here: a directory) disables checkpointing, never aborts.
+    let dir = temp_dir("journal");
+    let explicit = dir.join("explicit.jsonl");
+    with_var("RNUMA_JOURNAL", None, || {
+        assert!(Journal::from_env().is_none());
+        assert!(rnuma_bench::sweep_journal_from_env().is_none());
+    });
+    with_var("RNUMA_JOURNAL", Some(explicit.to_str().unwrap()), || {
+        assert_eq!(Journal::from_env().expect("fresh journal").path(), explicit);
+        assert_eq!(
+            rnuma_bench::sweep_journal_from_env()
+                .expect("fresh journal")
+                .path(),
+            explicit
+        );
+    });
+    with_var("RNUMA_JOURNAL", Some(dir.to_str().unwrap()), || {
+        assert!(
+            Journal::from_env().is_none(),
+            "a directory is not a journal"
+        );
+    });
+    with_var("RNUMA_RESULTS_DIR", Some(dir.to_str().unwrap()), || {
+        with_var("RNUMA_JOURNAL", Some("1"), || {
+            let journal = rnuma_bench::sweep_journal_from_env().expect("canonical journal");
+            assert_eq!(journal.path(), dir.join("sweep_journal.jsonl"));
+        });
+    });
+
+    // End-to-end through the bench driver: a journaled sweep_grid
+    // checkpoints its replay cells, and a second journaled run restores
+    // them bit-identically.
+    let configs = [
+        rnuma::MachineConfig::paper_base(rnuma::Protocol::ideal()),
+        rnuma::MachineConfig::paper_base(rnuma::Protocol::paper_rnuma()),
+    ];
+    let clean = rnuma_bench::sweep_grid(&["em3d"], &configs, rnuma_workloads::Scale::Tiny);
+    let journaled = with_var("RNUMA_JOURNAL", Some(explicit.to_str().unwrap()), || {
+        let first = rnuma_bench::sweep_grid(&["em3d"], &configs, rnuma_workloads::Scale::Tiny);
+        assert!(
+            Journal::open(&explicit).unwrap().entries() >= 1,
+            "journaled sweep recorded no cells"
+        );
+        let second = rnuma_bench::sweep_grid(&["em3d"], &configs, rnuma_workloads::Scale::Tiny);
+        (first, second)
+    });
+    for rows in [&journaled.0, &journaled.1] {
+        for (r, b) in rows[0].iter().zip(&clean[0]) {
+            assert!(
+                r.metrics.replay_eq(&b.metrics),
+                "journaled sweep diverged from clean on {}",
+                r.protocol
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An unwritable results directory is a one-line diagnostic and exit
+/// status 1 — not a panic backtrace.
+#[test]
+fn emitter_io_failure_exits_nonzero_with_one_line() {
+    let dir = temp_dir("io-fail");
+    let file = dir.join("occupied");
+    std::fs::write(&file, "not a directory").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_table1_model"))
+        .env_clear()
+        .env("RNUMA_RESULTS_DIR", file.join("nested"))
+        .output()
+        .expect("spawn table1_model");
+    assert!(!out.status.success(), "expected a nonzero exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("rnuma-bench: cannot create results directory"),
+        "missing diagnostic; stderr was: {stderr}"
+    );
+    assert_eq!(
+        stderr.lines().count(),
+        1,
+        "want exactly one diagnostic line; stderr was: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Misconfigured `RNUMA_SHARDS` warns exactly once per process on
+/// stderr — even though every grid cell consults it — and the figure
+/// still regenerates successfully.
+#[test]
+fn shard_misconfiguration_warns_once_and_completes() {
+    let dir = temp_dir("warn-once");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig5_pages"))
+        .args(["--scale", "tiny"])
+        .env_clear()
+        .env("RNUMA_RESULTS_DIR", &dir)
+        .env("RNUMA_SHARDS", "banana")
+        .output()
+        .expect("spawn fig5_pages");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "fig5_pages failed; stderr: {stderr}");
+    assert_eq!(
+        stderr.matches("RNUMA_SHARDS").count(),
+        1,
+        "want exactly one warning; stderr was: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A figure binary under an active fault plan (worker panics at a 20%
+/// rate, sharded execution forced) completes successfully: injected
+/// faults self-heal instead of aborting the run.
+#[test]
+fn figure_binary_completes_under_fault_plan() {
+    let dir = temp_dir("chaos");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig5_pages"))
+        .args(["--scale", "tiny"])
+        .env_clear()
+        .env("RNUMA_RESULTS_DIR", &dir)
+        .env("RNUMA_SHARDS", "2")
+        .env("RNUMA_FAULTS", "panic_before~0.2,panic_after~0.1,seed=42")
+        .output()
+        .expect("spawn fig5_pages");
+    assert!(
+        out.status.success(),
+        "fig5_pages aborted under fault plan; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
