@@ -37,10 +37,13 @@ fn main() {
         lane.apps.len() * lane.configs
     );
     println!(
-        "  trace store: {} ops captured, {} stored ({:.2}x interning)",
+        "  trace store: {} ops captured, {} flat bytes -> {} encoded \
+         ({:.2}x smaller, interning ratio {:.3})",
         lane.captured_ops,
-        lane.stored_ops,
-        lane.interning_ratio()
+        lane.trace_flat_bytes,
+        lane.trace_encoded_bytes,
+        lane.trace_footprint_ratio(),
+        lane.trace_interning_ratio
     );
     println!(
         "  trace-once sweep   {:>8.1} ms/pass",

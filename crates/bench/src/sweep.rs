@@ -70,10 +70,16 @@ pub struct SweepLane {
     pub apps: Vec<&'static str>,
     /// Configurations per application (capture amortized across these).
     pub configs: usize,
-    /// Total operations captured per sweep pass (before interning).
+    /// Total operations captured per sweep pass.
     pub captured_ops: u64,
-    /// Operations resident in the interned arena per sweep pass.
-    pub stored_ops: u64,
+    /// Bytes the captured streams would occupy as flat `TraceOp`
+    /// arrays (the storage format the encoded store replaces).
+    pub trace_flat_bytes: u64,
+    /// Bytes the columnar, delta-encoded store actually occupies.
+    pub trace_encoded_bytes: u64,
+    /// Stored over referenced profile bytes (≤ 1.0; below 1.0 when
+    /// profile interning dedups shared reference patterns).
+    pub trace_interning_ratio: f64,
     /// Seconds per full sweep through the trace-once driver.
     pub sweep_secs: f64,
     /// Seconds per full sweep with per-cell capture + replay.
@@ -133,13 +139,14 @@ impl SweepLane {
         self.replay_secs / self.pooled_replay_secs
     }
 
-    /// Capture-stream compression from segment interning (1.0 = none).
+    /// Trace memory compression: flat `TraceOp`-array bytes over
+    /// encoded-store bytes (the ≥ 4× acceptance metric).
     #[must_use]
-    pub fn interning_ratio(&self) -> f64 {
-        if self.stored_ops == 0 {
+    pub fn trace_footprint_ratio(&self) -> f64 {
+        if self.trace_encoded_bytes == 0 {
             1.0
         } else {
-            self.captured_ops as f64 / self.stored_ops as f64
+            self.trace_flat_bytes as f64 / self.trace_encoded_bytes as f64
         }
     }
 
@@ -153,8 +160,22 @@ impl SweepLane {
         let _ = writeln!(s, "  \"configs\": {},", self.configs);
         let _ = writeln!(s, "  \"cells\": {},", self.apps.len() * self.configs);
         let _ = writeln!(s, "  \"captured_ops\": {},", self.captured_ops);
-        let _ = writeln!(s, "  \"stored_ops\": {},", self.stored_ops);
-        let _ = writeln!(s, "  \"interning_ratio\": {:.3},", self.interning_ratio());
+        let _ = writeln!(s, "  \"trace_flat_bytes\": {},", self.trace_flat_bytes);
+        let _ = writeln!(
+            s,
+            "  \"trace_encoded_bytes\": {},",
+            self.trace_encoded_bytes
+        );
+        let _ = writeln!(
+            s,
+            "  \"trace_footprint_ratio\": {:.2},",
+            self.trace_footprint_ratio()
+        );
+        let _ = writeln!(
+            s,
+            "  \"interning_ratio\": {:.3},",
+            self.trace_interning_ratio
+        );
         let _ = writeln!(s, "  \"sweep_secs\": {:.4},", self.sweep_secs);
         let _ = writeln!(s, "  \"percell_capture_secs\": {:.4},", self.percell_secs);
         let _ = writeln!(s, "  \"direct_run_secs\": {:.4},", self.direct_secs);
@@ -227,9 +248,18 @@ fn time_passes(pass: impl FnMut()) -> f64 {
     time_passes_for(0.2, pass)
 }
 
+/// The encoded store's footprint statistics from one sweep pass.
+#[derive(Clone, Copy, Debug)]
+struct TraceStats {
+    captured_ops: u64,
+    flat_bytes: u64,
+    encoded_bytes: u64,
+    interning_ratio: f64,
+}
+
 /// One sweep pass through the trace-once/replay-many driver. Returns
-/// the store's interning statistics.
-fn sweep_pass(apps: &[&'static str], configs: &[MachineConfig], scale: Scale) -> (u64, u64) {
+/// the store's footprint statistics.
+fn sweep_pass(apps: &[&'static str], configs: &[MachineConfig], scale: Scale) -> TraceStats {
     let mut store = TraceStore::new();
     let mut sink = 0u64;
     for &app in apps {
@@ -241,7 +271,12 @@ fn sweep_pass(apps: &[&'static str], configs: &[MachineConfig], scale: Scale) ->
         }
     }
     std::hint::black_box(sink);
-    (store.captured_ops(), store.stored_ops())
+    TraceStats {
+        captured_ops: store.captured_ops(),
+        flat_bytes: store.flat_bytes(),
+        encoded_bytes: store.encoded_bytes(),
+        interning_ratio: store.interning_ratio(),
+    }
 }
 
 /// One sweep pass with per-cell capture: every cell records its own
@@ -282,7 +317,7 @@ fn direct_pass(apps: &[&'static str], configs: &[MachineConfig], scale: Scale) {
 #[must_use]
 pub fn measure(apps: &[&'static str], configs: &[MachineConfig], scale: Scale) -> SweepLane {
     // One warm-up-and-stats pass outside the timers.
-    let (captured_ops, stored_ops) = sweep_pass(apps, configs, scale);
+    let stats = sweep_pass(apps, configs, scale);
     let sweep_secs = time_passes(|| {
         let _ = sweep_pass(apps, configs, scale);
     });
@@ -325,9 +360,7 @@ pub fn measure(apps: &[&'static str], configs: &[MachineConfig], scale: Scale) -
         for &id in &ids {
             for &config in &configs[1..] {
                 let mut machine = Machine::new(config).expect("valid config");
-                for seg in store.segments(id) {
-                    live_dispatch(&mut machine, seg);
-                }
+                store.for_each_batch(id, |ops, _| live_dispatch(&mut machine, ops));
                 sink ^= machine.metrics().exec_cycles.0;
             }
         }
@@ -348,7 +381,7 @@ pub fn measure(apps: &[&'static str], configs: &[MachineConfig], scale: Scale) -
             for &config in &configs[1..] {
                 let mut sm = ShardedMachine::with_pool(config, pooled_shards, Arc::clone(&pool))
                     .expect("valid config");
-                sm.run_segments(store.segments(id));
+                store.replay_sharded(id, &mut sm);
                 sink ^= sm.metrics().exec_cycles.0;
             }
         }
@@ -358,8 +391,10 @@ pub fn measure(apps: &[&'static str], configs: &[MachineConfig], scale: Scale) -
     SweepLane {
         apps: apps.to_vec(),
         configs: configs.len(),
-        captured_ops,
-        stored_ops,
+        captured_ops: stats.captured_ops,
+        trace_flat_bytes: stats.flat_bytes,
+        trace_encoded_bytes: stats.encoded_bytes,
+        trace_interning_ratio: stats.interning_ratio,
         sweep_secs,
         percell_secs,
         direct_secs,
@@ -451,7 +486,9 @@ mod tests {
             apps: vec!["em3d", "moldyn"],
             configs: 4,
             captured_ops: 1000,
-            stored_ops: 800,
+            trace_flat_bytes: 24_000,
+            trace_encoded_bytes: 3_000,
+            trace_interning_ratio: 0.5,
             sweep_secs: 1.0,
             percell_secs: 2.0,
             direct_secs: 1.5,
@@ -475,7 +512,10 @@ mod tests {
         assert!(json.contains("\"batched_speedup_vs_perop\": 1.500"));
         assert!(json.contains("\"pooled_shards\": 4"));
         assert!(json.contains("\"pooled_speedup_vs_batched\": 0.800"));
-        assert!((lane.interning_ratio() - 1.25).abs() < 1e-12);
+        assert!(json.contains("\"trace_flat_bytes\": 24000"));
+        assert!(json.contains("\"trace_footprint_ratio\": 8.00"));
+        assert!(json.contains("\"interning_ratio\": 0.500"));
+        assert!((lane.trace_footprint_ratio() - 8.0).abs() < 1e-12);
         // The emitted document round-trips through the gate parser.
         assert_eq!(json_number(&json, "batched_speedup_vs_perop"), Some(1.5));
     }
@@ -518,8 +558,15 @@ mod tests {
             MachineConfig::paper_base(Protocol::ideal()),
             MachineConfig::paper_base(Protocol::paper_rnuma()),
         ];
-        let (captured, stored) = sweep_pass(&["em3d"], &configs, Scale::Tiny);
-        assert!(captured > 0);
-        assert!(stored > 0 && stored <= captured);
+        let stats = sweep_pass(&["em3d"], &configs, Scale::Tiny);
+        assert!(stats.captured_ops > 0);
+        assert!(
+            stats.encoded_bytes * 4 <= stats.flat_bytes,
+            "encoding must compress ≥ 4× even at tiny scale \
+             ({} flat vs {} encoded bytes)",
+            stats.flat_bytes,
+            stats.encoded_bytes
+        );
+        assert!(stats.interning_ratio <= 1.0);
     }
 }

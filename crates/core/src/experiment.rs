@@ -24,10 +24,12 @@
 //! configuration in a grid. Re-executing the workload per cell re-pays
 //! its generation cost (item scheduling, address arithmetic, setup
 //! RNG) once per configuration; the sweep driver instead captures the
-//! workload's [`TraceOp`] stream **once** — into a [`TraceStore`], an
-//! arena-backed, segment-interned store — and replays it against every
-//! other configuration ([`run_replayed`] per cell, [`run_sweep`] for a
-//! whole config axis). Replay is bit-identical to a serial batched
+//! workload's [`TraceOp`] stream **once** — into a [`TraceStore`], a
+//! columnar, delta-encoded, profile-interned store with streaming
+//! (bounded-memory) capture and optional spill-to-disk — and replays
+//! it against every other configuration ([`run_replayed`] per cell,
+//! [`run_sweep`] for a whole config axis). Replay is bit-identical to
+//! a serial batched
 //! [`Machine::apply_batch`] of the same stream in every execution mode
 //! (`RNUMA_SHARDS` turns each cell into a pool-backed self-check), and
 //! the sweep's reference stream is *fixed across cells* — the classic
@@ -39,11 +41,13 @@ use crate::journal::{cell_key, Journal};
 use crate::machine::Machine;
 use crate::metrics::Metrics;
 use crate::program::{Runner, Workload};
-use crate::shard::{shards_from_env, split_cpu_runs, CpuRun, ShardPool, ShardedMachine, TraceOp};
-use rnuma_mem::fxmap::FxMap64;
+use crate::shard::{shards_from_env, CpuRun, ShardPool, ShardedMachine, TraceOp};
+use crate::trace::{
+    decode_segment, encode_segment, spill_dir_from_env, CpuRefs, ProfileArena, SegMeta, SEG_OPS,
+};
 use rnuma_sim::fault::{FaultKind, FaultLog, FaultPlan};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 
 /// The result of one (configuration, workload) simulation.
 #[derive(Clone, Debug)]
@@ -137,7 +141,7 @@ pub fn run_sharded_checked<W: Workload + ?Sized>(
     shards: usize,
 ) -> RunReport {
     let (report, trace) = run_traced(config, workload);
-    check_sharded_replay(&report, std::iter::once(trace.as_slice()), config, shards);
+    check_sharded_replay(&report, config, shards, |sm| sm.run_trace(&trace));
     report
 }
 
@@ -349,7 +353,7 @@ pub fn run_traced_env_checked<W: Workload + ?Sized>(
 ) -> (RunReport, Vec<TraceOp>) {
     let (report, trace) = run_traced(config, workload);
     if let Some(shards) = shards_from_env().filter(|&s| s > 1) {
-        check_sharded_replay(&report, std::iter::once(trace.as_slice()), config, shards);
+        check_sharded_replay(&report, config, shards, |sm| sm.run_trace(&trace));
     }
     (report, trace)
 }
@@ -359,31 +363,142 @@ pub fn run_traced_env_checked<W: Workload + ?Sized>(
 pub struct TraceId(u32);
 
 /// One captured stream: its workload, the configuration it was captured
-/// under, and its segment list into the shared arena.
+/// under, and its contiguous segment range in the shared store.
 #[derive(Debug)]
 struct TraceRec {
     workload: &'static str,
     config: MachineConfig,
-    segs: Vec<u32>,
+    seg_start: u32,
+    seg_end: u32,
     ops: u64,
 }
 
-/// Ops per arena segment: long enough that segment dispatch is noise,
-/// short enough that periodic workloads (whose steady-state streams
-/// repeat) actually produce duplicate segments to intern.
-const SEG_OPS: usize = 4096;
+/// The encodable innards of a [`TraceStore`]: the profile arena, run
+/// and segment tables, and the capture-time state (interning flag,
+/// fault plan). Split out so a streaming capture can move it behind an
+/// `Arc<Mutex<_>>` shared with the machine's trace sink and take it
+/// back afterwards.
+#[derive(Debug)]
+struct StoreCore {
+    profiles: ProfileArena,
+    /// The varint-coded run streams of every segment, concatenated
+    /// (each [`SegMeta`] owns a byte range).
+    runs: Vec<u8>,
+    segs: Vec<SegMeta>,
+    interning: bool,
+    captured_ops: u64,
+    /// Deterministic fault plan for capture-time allocation pressure
+    /// (`RNUMA_FAULTS`, `pressure` kind); `None` when faults are off.
+    fault_plan: Option<FaultPlan>,
+    /// Injected faults this store absorbed.
+    fault_log: FaultLog,
+    /// Reusable encode scratch (one run's blob).
+    blob_scratch: Vec<u8>,
+    /// Reusable spilled-read scratch for dedup verification.
+    read_scratch: Vec<u8>,
+    /// Reusable per-CPU base references for encoding.
+    refs_scratch: CpuRefs,
+}
 
-/// An arena-backed, segment-interned store of captured [`TraceOp`]
-/// streams — the "capture once" half of trace-once/replay-many sweeps.
+impl Default for StoreCore {
+    /// A cheap placeholder (no env reads, no spill file) for
+    /// `std::mem::take` during streaming capture.
+    fn default() -> StoreCore {
+        StoreCore {
+            profiles: ProfileArena::new(None),
+            runs: Vec::new(),
+            segs: Vec::new(),
+            interning: true,
+            captured_ops: 0,
+            fault_plan: None,
+            fault_log: FaultLog::new(),
+            blob_scratch: Vec::new(),
+            read_scratch: Vec::new(),
+            refs_scratch: CpuRefs::default(),
+        }
+    }
+}
+
+impl StoreCore {
+    fn new(spill: Option<&std::path::Path>) -> StoreCore {
+        StoreCore {
+            profiles: ProfileArena::new(spill),
+            fault_plan: FaultPlan::from_env(),
+            ..StoreCore::default()
+        }
+    }
+
+    /// Encodes one segment of captured ops into the store. This is the
+    /// streaming-capture sink: it holds no reference to the chunk after
+    /// returning, so capture memory stays bounded by one chunk plus the
+    /// encoded tables.
+    fn push_segment(&mut self, chunk: &[TraceOp]) {
+        if chunk.is_empty() {
+            return;
+        }
+        if self.interning {
+            if let Some(plan) = self.fault_plan.as_mut() {
+                if plan.should_fire(FaultKind::CapturePressure) {
+                    // Simulated allocation pressure: the dedup table
+                    // "fails to grow", so the store degrades to verbatim
+                    // profile storage from here on. Replay results are
+                    // identical either way — interning only affects
+                    // memory residency — so the sweep keeps its
+                    // bit-identical contract under this fault.
+                    self.interning = false;
+                    self.profiles.drop_dedup();
+                    let index = self.segs.len() as u64;
+                    self.fault_log.record(
+                        FaultKind::CapturePressure,
+                        index,
+                        "dedup table allocation failed; interning disabled".to_string(),
+                    );
+                }
+            }
+        }
+        let meta = encode_segment(
+            chunk,
+            seg_hash(chunk),
+            &mut self.profiles,
+            &mut self.runs,
+            self.interning,
+            &mut self.blob_scratch,
+            &mut self.read_scratch,
+            &mut self.refs_scratch,
+        );
+        self.segs.push(meta);
+        self.captured_ops += chunk.len() as u64;
+    }
+
+    /// Encoded size of the store: profile bytes (resident or spilled)
+    /// plus the run streams and the segment/span tables.
+    fn encoded_bytes(&self) -> u64 {
+        self.profiles.stored_bytes()
+            + self.profiles.table_bytes()
+            + self.runs.len() as u64
+            + (self.segs.len() * std::mem::size_of::<SegMeta>()) as u64
+    }
+}
+
+/// A columnar, delta-encoded store of captured [`TraceOp`] streams —
+/// the "capture once" half of trace-once/replay-many sweeps.
 ///
-/// All captured streams share one arena of fixed-size segments. With
-/// interning on (the default), a segment whose contents already exist
-/// in the arena is stored once and referenced twice — periodic
-/// workloads (iterative solvers re-issuing identical per-iteration
-/// streams) compress substantially, and identical workloads captured
-/// twice cost one copy. Replay iterates a stream's segments in order
-/// ([`TraceStore::segments`]); [`Machine::replay_segment`] and
-/// [`ShardedMachine::run_segments`] both accept that form directly.
+/// Streams are stored as per-CPU *runs* (the same maximal same-CPU
+/// spans the batched replay kernels consume), each reduced to a small
+/// run record plus an interned *profile*: packed 2-bit op kinds and
+/// varint payload deltas (see the `trace` module). Interning works at
+/// profile granularity — two runs with the same kinds and relative
+/// address pattern share one blob regardless of base address — so
+/// every CPU walking its partition with a common stride dedups, and
+/// [`TraceStore::interning_ratio`] drops well below 1.0 on real
+/// workloads. Capture is *streaming*: the workload's ops are encoded
+/// in fixed-size chunks as they are produced, never materializing the
+/// flat op array, and profile bytes optionally spill to a temp file
+/// (`RNUMA_TRACE_SPILL`). Replay decodes segment by segment into a
+/// bounded scratch ([`TraceStore::for_each_batch`]) feeding
+/// [`Machine::replay_segment`] / [`ShardedMachine::run_trace`];
+/// `tests/trace_codec.rs` pins the encoded replay bit-identical to
+/// both the flat replay and the live execution.
 ///
 /// # Example
 ///
@@ -415,26 +530,8 @@ const SEG_OPS: usize = 4096;
 /// ```
 #[derive(Debug)]
 pub struct TraceStore {
-    /// All segment payloads, concatenated.
-    arena: Vec<TraceOp>,
-    /// Segment id → `(start, len)` into the arena.
-    segs: Vec<(u32, u32)>,
-    /// Segment id → its pre-split run table (contiguous same-CPU runs),
-    /// computed once at capture time so every replay of the segment
-    /// consumes the batched form directly. Interned segments share
-    /// their run table exactly like their payload.
-    seg_runs: Vec<Vec<CpuRun>>,
-    /// Content hash → first segment id with that hash (interning).
-    dedup: FxMap64<u32>,
+    core: StoreCore,
     traces: Vec<TraceRec>,
-    interning: bool,
-    /// Total ops captured, before interning.
-    captured_ops: u64,
-    /// Deterministic fault plan for capture-time allocation pressure
-    /// (`RNUMA_FAULTS`, `pressure` kind); `None` when faults are off.
-    fault_plan: Option<FaultPlan>,
-    /// Injected faults this store absorbed.
-    fault_log: FaultLog,
 }
 
 impl Default for TraceStore {
@@ -444,49 +541,64 @@ impl Default for TraceStore {
 }
 
 impl TraceStore {
-    /// An empty store with segment interning enabled.
+    /// An empty store with profile interning enabled and spill behavior
+    /// taken from `RNUMA_TRACE_SPILL` (unset: profiles stay resident).
     #[must_use]
     pub fn new() -> TraceStore {
         TraceStore {
-            arena: Vec::new(),
-            segs: Vec::new(),
-            seg_runs: Vec::new(),
-            dedup: FxMap64::new(),
+            core: StoreCore::new(spill_dir_from_env().as_deref()),
             traces: Vec::new(),
-            interning: true,
-            captured_ops: 0,
-            fault_plan: FaultPlan::from_env(),
-            fault_log: FaultLog::new(),
         }
+    }
+
+    /// An empty store spilling profile bytes to a file under `dir`
+    /// regardless of `RNUMA_TRACE_SPILL` (tests and tools; degrades to
+    /// resident storage, with a warning, when `dir` is unusable).
+    #[must_use]
+    pub fn spilled_to(dir: &std::path::Path) -> TraceStore {
+        TraceStore {
+            core: StoreCore::new(Some(dir)),
+            traces: Vec::new(),
+        }
+    }
+
+    /// The spill file backing this store's profile bytes, if any
+    /// (tests truncate it to drill the torn-file diagnostics).
+    #[must_use]
+    pub fn spill_path(&self) -> Option<&std::path::Path> {
+        self.core.profiles.spill_path()
     }
 
     /// Overrides the capture-pressure fault plan (tests; `new` reads
     /// `RNUMA_FAULTS`). `None` disables injection.
     pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
-        self.fault_plan = plan;
+        self.core.fault_plan = plan;
     }
 
     /// Injected faults this store absorbed (capture-time allocation
     /// pressure downgrading interning to verbatim storage).
     #[must_use]
     pub fn fault_log(&self) -> &FaultLog {
-        &self.fault_log
+        &self.core.fault_log
     }
 
-    /// An empty store that keeps every segment verbatim (no interning).
-    /// Replay results are identical either way; this exists for
-    /// benchmarking the interning itself and for debugging.
+    /// An empty store that stores every run's profile verbatim (no
+    /// interning). Replay results are identical either way; this exists
+    /// for benchmarking the interning itself and for debugging.
     #[must_use]
     pub fn raw() -> TraceStore {
-        TraceStore {
-            interning: false,
-            ..TraceStore::new()
-        }
+        let mut store = TraceStore::new();
+        store.core.interning = false;
+        store.core.profiles.drop_dedup();
+        store
     }
 
     /// Runs `workload` on `config` — exactly like [`run`] — while
-    /// recording its operation stream into the store. Returns the
-    /// stream's id and the capture run's report.
+    /// *streaming* its operation stream into the store: ops are encoded
+    /// in segment-sized (`SEG_OPS`) chunks as the machine produces them, so
+    /// capture memory is bounded by one chunk plus the encoded tables —
+    /// the flat op array is never materialized. Returns the stream's id
+    /// and the capture run's report.
     ///
     /// When `RNUMA_SHARDS` requests more than one shard, the captured
     /// stream is additionally replayed on the pool-backed sharded
@@ -501,102 +613,126 @@ impl TraceStore {
         config: MachineConfig,
         workload: &mut W,
     ) -> (TraceId, RunReport) {
-        let (report, trace) = run_traced_env_checked(config, workload);
-        let id = self.insert(report.workload, config, &trace);
+        let seg_start = u32::try_from(self.core.segs.len()).expect("segment count overflow");
+        let captured_before = self.core.captured_ops;
+        // The machine's trace sink must own its half of the store: the
+        // encodable core moves behind a shared handle for the duration
+        // of the run and is taken back once the machine (and with it
+        // the sink closure) is dropped.
+        let shared = Arc::new(Mutex::new(std::mem::take(&mut self.core)));
+        let sink = Arc::clone(&shared);
+        let mut machine = Machine::new(config).expect("experiment configs must be valid");
+        machine.start_streaming_trace(
+            SEG_OPS,
+            Box::new(move |ops| {
+                sink.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push_segment(ops);
+            }),
+        );
+        {
+            let mut runner = Runner::new(&mut machine);
+            workload.run(&mut runner);
+        }
+        machine.finish_streaming_trace();
+        let report = RunReport {
+            workload: workload.name(),
+            protocol: config.protocol.label(),
+            config,
+            metrics: machine.metrics(),
+        };
+        drop(machine);
+        self.core = Arc::try_unwrap(shared)
+            .expect("capture sink outlived its machine")
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let captured = self.core.captured_ops - captured_before;
+        let id = self.push_trace(report.workload, config, seg_start, captured);
+        if let Some(shards) = shards_from_env().filter(|&s| s > 1) {
+            check_sharded_replay(&report, config, shards, |sm| self.replay_sharded(id, sm));
+        }
         (id, report)
     }
 
-    /// Stores one already-captured stream (segmenting and, when
-    /// enabled, interning it) and returns its id.
+    /// Stores one already-materialized stream (segmenting, encoding,
+    /// and interning it) and returns its id.
     pub fn insert(
         &mut self,
         workload: &'static str,
         config: MachineConfig,
         ops: &[TraceOp],
     ) -> TraceId {
-        let mut segs = Vec::with_capacity(ops.len().div_ceil(SEG_OPS));
+        let seg_start = u32::try_from(self.core.segs.len()).expect("segment count overflow");
         for chunk in ops.chunks(SEG_OPS) {
-            segs.push(self.intern_segment(chunk));
+            self.core.push_segment(chunk);
         }
-        self.captured_ops += ops.len() as u64;
+        self.push_trace(workload, config, seg_start, ops.len() as u64)
+    }
+
+    fn push_trace(
+        &mut self,
+        workload: &'static str,
+        config: MachineConfig,
+        seg_start: u32,
+        ops: u64,
+    ) -> TraceId {
+        let seg_end = u32::try_from(self.core.segs.len()).expect("segment count overflow");
         let id = TraceId(u32::try_from(self.traces.len()).expect("trace count overflow"));
         self.traces.push(TraceRec {
             workload,
             config,
-            segs,
-            ops: ops.len() as u64,
+            seg_start,
+            seg_end,
+            ops,
         });
         id
-    }
-
-    fn intern_segment(&mut self, chunk: &[TraceOp]) -> u32 {
-        if self.interning {
-            if let Some(plan) = self.fault_plan.as_mut() {
-                if plan.should_fire(FaultKind::CapturePressure) {
-                    // Simulated allocation pressure: the dedup table
-                    // "fails to grow", so the store degrades to verbatim
-                    // segment storage from here on. Replay results are
-                    // identical either way — interning only affects
-                    // memory residency — so the sweep keeps its
-                    // bit-identical contract under this fault.
-                    self.interning = false;
-                    self.dedup = FxMap64::new();
-                    let index = self.segs.len() as u64;
-                    self.fault_log.record(
-                        FaultKind::CapturePressure,
-                        index,
-                        "dedup table allocation failed; interning disabled".to_string(),
-                    );
-                    return self.push_segment(chunk);
-                }
-            }
-            let hash = seg_hash(chunk);
-            // First-wins on hash collisions: a mismatching occupant just
-            // costs this segment its dedup, never its correctness.
-            if let Some(&seg) = self.dedup.get(hash) {
-                if self.segment(seg) == chunk {
-                    return seg;
-                }
-            } else {
-                let seg = self.push_segment(chunk);
-                self.dedup.insert(hash, seg);
-                return seg;
-            }
-        }
-        self.push_segment(chunk)
-    }
-
-    fn push_segment(&mut self, chunk: &[TraceOp]) -> u32 {
-        let start = u32::try_from(self.arena.len()).expect("trace arena overflow");
-        self.arena.extend_from_slice(chunk);
-        let seg = u32::try_from(self.segs.len()).expect("segment count overflow");
-        self.segs.push((start, chunk.len() as u32));
-        self.seg_runs.push(split_cpu_runs(chunk));
-        seg
-    }
-
-    fn segment(&self, seg: u32) -> &[TraceOp] {
-        let (start, len) = self.segs[seg as usize];
-        &self.arena[start as usize..start as usize + len as usize]
     }
 
     fn rec(&self, id: TraceId) -> &TraceRec {
         &self.traces[id.0 as usize]
     }
 
-    /// The stream's segments, in replay order.
-    pub fn segments(&self, id: TraceId) -> impl Iterator<Item = &[TraceOp]> + '_ {
-        self.rec(id).segs.iter().map(move |&seg| self.segment(seg))
+    /// Decodes the stream segment by segment into a bounded scratch and
+    /// hands each `(ops, runs)` batch — the form
+    /// [`Machine::replay_segment`] consumes — to `f`, in replay order.
+    /// Peak decode memory is one segment (`SEG_OPS` ops), independent
+    /// of stream length; the scratch is call-local, so concurrent
+    /// replays of a shared store never contend.
+    pub fn for_each_batch(&self, id: TraceId, mut f: impl FnMut(&[TraceOp], &[CpuRun])) {
+        let rec = self.rec(id);
+        let mut ops = Vec::with_capacity(SEG_OPS);
+        let mut runs = Vec::new();
+        let mut scratch = Vec::new();
+        let mut refs = CpuRefs::default();
+        for seg in rec.seg_start..rec.seg_end {
+            decode_segment(
+                self.core.segs[seg as usize],
+                &self.core.profiles,
+                &self.core.runs,
+                &mut ops,
+                &mut runs,
+                &mut scratch,
+                &mut refs,
+            );
+            f(&ops, &runs);
+        }
     }
 
-    /// The stream's segments paired with their pre-split run tables, in
-    /// replay order — the form [`Machine::replay_segment`] consumes
-    /// directly (no per-replay re-scan for same-CPU runs).
-    pub fn batches(&self, id: TraceId) -> impl Iterator<Item = (&[TraceOp], &[CpuRun])> + '_ {
-        self.rec(id)
-            .segs
-            .iter()
-            .map(move |&seg| (self.segment(seg), self.seg_runs[seg as usize].as_slice()))
+    /// Decodes the whole stream back to its flat op array (tests and
+    /// diagnostics; replay never materializes this form).
+    #[must_use]
+    pub fn decode(&self, id: TraceId) -> Vec<TraceOp> {
+        let mut out = Vec::with_capacity(usize::try_from(self.ops(id)).unwrap_or(usize::MAX));
+        self.for_each_batch(id, |ops, _| out.extend_from_slice(ops));
+        out
+    }
+
+    /// Feeds the stream, segment by segment, to a sharded machine.
+    /// Bit-identical to one `run_trace` over the flat stream: the
+    /// sharded executor folds its per-chunk metrics after every feed,
+    /// so segment boundaries are invisible to the result.
+    pub fn replay_sharded(&self, id: TraceId, sharded: &mut ShardedMachine) {
+        self.for_each_batch(id, |ops, _| sharded.run_trace(ops));
     }
 
     /// Number of operations in the stream.
@@ -623,33 +759,83 @@ impl TraceStore {
         self.traces.len()
     }
 
-    /// Total ops captured across all streams (before interning).
+    /// Total ops captured across all streams.
     #[must_use]
     pub fn captured_ops(&self) -> u64 {
-        self.captured_ops
+        self.core.captured_ops
     }
 
-    /// Ops actually resident in the arena (after interning).
+    /// Bytes the captured streams would occupy as flat `TraceOp` arrays
+    /// — the storage format this store's encoding replaces.
     #[must_use]
-    pub fn stored_ops(&self) -> u64 {
-        self.arena.len() as u64
+    pub fn flat_bytes(&self) -> u64 {
+        self.core.captured_ops * std::mem::size_of::<TraceOp>() as u64
+    }
+
+    /// Bytes the encoded store occupies: profile bytes (resident or
+    /// spilled) plus the run, segment, and profile-span tables.
+    #[must_use]
+    pub fn encoded_bytes(&self) -> u64 {
+        self.core.encoded_bytes()
+    }
+
+    /// Encoded bytes actually resident in memory — [`encoded_bytes`]
+    /// minus profile bytes living in the spill file.
+    ///
+    /// [`encoded_bytes`]: TraceStore::encoded_bytes
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.core.encoded_bytes() - self.core.profiles.spilled_bytes()
+    }
+
+    /// Profile bytes living in the spill file (0 unless spilling).
+    #[must_use]
+    pub fn spilled_bytes(&self) -> u64 {
+        self.core.profiles.spilled_bytes()
+    }
+
+    /// Stored over referenced profile bytes: 1.0 when every run's
+    /// profile is unique, below 1.0 when interning dedups — the common
+    /// case, since every CPU walking its partition with a shared stride
+    /// pattern references one stored profile.
+    #[must_use]
+    pub fn interning_ratio(&self) -> f64 {
+        let referenced = self.core.profiles.referenced_bytes();
+        if referenced == 0 {
+            return 1.0;
+        }
+        self.core.profiles.stored_bytes() as f64 / referenced as f64
+    }
+
+    /// Flat over encoded bytes — the compression the columnar encoding
+    /// buys (≥ 4× on the sweep bench workloads; see `RESULTS.md`).
+    #[must_use]
+    pub fn footprint_ratio(&self) -> f64 {
+        let encoded = self.encoded_bytes();
+        if encoded == 0 {
+            return 1.0;
+        }
+        self.flat_bytes() as f64 / encoded as f64
     }
 
     /// A stable content hash of the stream: the fold of its segments'
-    /// hashes in replay order, seeded with the op count. Two streams
-    /// hash equal iff their operation sequences are identical (modulo
-    /// hash collisions, which [`Journal`] keying tolerates the same way
-    /// interning does: a collision only risks a stale journal hit, and
-    /// journal cells additionally carry the configuration in their
-    /// key). This is what distinguishes `em3d@Tiny` from `em3d@Paper`
-    /// in a sweep journal — same workload name, different stream.
+    /// hashes in replay order, seeded with the op count. Segment hashes
+    /// are computed from the raw ops at capture time (`seg_hash` over
+    /// the pre-encoding chunk), so this hash is a property of the
+    /// *operation sequence*, not the encoding. Two streams hash equal
+    /// iff their operation sequences are identical (modulo hash
+    /// collisions, which [`Journal`] keying tolerates: a collision only
+    /// risks a stale journal hit, and journal cells additionally carry
+    /// the configuration in their key). This is what distinguishes
+    /// `em3d@Tiny` from `em3d@Paper` in a sweep journal — same workload
+    /// name, different stream.
     #[must_use]
     pub fn content_hash(&self, id: TraceId) -> u64 {
         const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
         let rec = self.rec(id);
         let mut h = 0x6a09_e667_f3bc_c908u64 ^ rec.ops;
-        for &seg in &rec.segs {
-            h = (h ^ seg_hash(self.segment(seg)))
+        for seg in rec.seg_start..rec.seg_end {
+            h = (h ^ self.core.segs[seg as usize].hash)
                 .wrapping_mul(MIX)
                 .rotate_left(23);
         }
@@ -658,15 +844,17 @@ impl TraceStore {
 
     /// Replays the stream serially on a fresh machine built from
     /// `config`, returning its report. This is the *serial path* every
-    /// other replay mode is bit-identical to; it runs through the
-    /// batched loop ([`Machine::replay_segment`], consuming the
-    /// pre-split run tables), which `tests/batched_replay.rs` proves
-    /// bit-identical to the live execution the stream was captured
-    /// from.
+    /// other replay mode is bit-identical to; it decodes segment by
+    /// segment ([`for_each_batch`]) into the batched loop
+    /// ([`Machine::replay_segment`]), which `tests/trace_codec.rs` and
+    /// `tests/batched_replay.rs` prove bit-identical to the live
+    /// execution the stream was captured from.
     ///
     /// `config` need not be the capture configuration — that is the
     /// point of a sweep — but it must describe the same cluster shape
     /// (node and CPU counts), since the stream addresses CPUs by id.
+    ///
+    /// [`for_each_batch`]: TraceStore::for_each_batch
     ///
     /// # Panics
     ///
@@ -681,9 +869,7 @@ impl TraceStore {
             "replay configuration must match the capture cluster shape"
         );
         let mut machine = Machine::new(config).expect("experiment configs must be valid");
-        for (ops, runs) in self.batches(id) {
-            machine.replay_segment(ops, runs);
-        }
+        self.for_each_batch(id, |ops, runs| machine.replay_segment(ops, runs));
         RunReport {
             workload: rec.workload,
             protocol: config.protocol.label(),
@@ -719,24 +905,25 @@ fn seg_hash(ops: &[TraceOp]) -> u64 {
     h
 }
 
-/// Asserts that the pool-backed sharded replay of `segments` on
-/// `config` is bit-identical to `report` (the serial execution of the
-/// same stream).
+/// Asserts that a pool-backed sharded replay on `config` is
+/// bit-identical to `report` (the serial execution of the same
+/// stream). `feed` drives the stream into the sharded machine —
+/// a flat `run_trace` or a segment-by-segment decoded replay; the
+/// executor folds its metrics after every feed, so the two are
+/// equivalent.
 ///
 /// Runs on [`ShardPool::checking`], which always has workers — a
 /// zero-worker pool would make the executor bypass itself and turn the
 /// check into serial-vs-serial.
-fn check_sharded_replay<'a, I>(
+fn check_sharded_replay(
     report: &RunReport,
-    segments: I,
     config: MachineConfig,
     shards: usize,
-) where
-    I: IntoIterator<Item = &'a [TraceOp]>,
-{
+    feed: impl FnOnce(&mut ShardedMachine),
+) {
     let mut sharded = ShardedMachine::with_pool(config, shards, ShardPool::checking())
         .expect("config validated by caller");
-    sharded.run_segments(segments);
+    feed(&mut sharded);
     assert!(
         report.metrics.replay_eq(&sharded.metrics()),
         "sharded replay ({shards} shards) diverged from serial for {} on {}:\n\
@@ -764,7 +951,7 @@ fn check_sharded_replay<'a, I>(
 pub fn run_replayed(store: &TraceStore, id: TraceId, config: MachineConfig) -> RunReport {
     let report = store.replay_serial(id, config);
     if let Some(shards) = shards_from_env().filter(|&s| s > 1) {
-        check_sharded_replay(&report, store.segments(id), config, shards);
+        check_sharded_replay(&report, config, shards, |sm| store.replay_sharded(id, sm));
     }
     report
 }
@@ -1054,8 +1241,9 @@ mod tests {
     }
 
     #[test]
-    fn trace_store_interns_repeated_segments() {
-        // Three identical 4096-op segments: interning stores one.
+    fn trace_store_interns_repeated_profiles() {
+        // Three identical 4096-op segments: one run profile each, all
+        // three interning to a single stored blob.
         let op = TraceOp::Access {
             cpu: CpuId(0),
             va: rnuma_mem::addr::Va(0x2000),
@@ -1066,16 +1254,40 @@ mod tests {
         let mut interned = TraceStore::new();
         let a = interned.insert("synthetic", config, &ops);
         assert_eq!(interned.captured_ops(), 3 * 4096);
-        assert_eq!(interned.stored_ops(), 4096, "identical segments dedup");
+        assert!(
+            interned.interning_ratio() < 1.0,
+            "identical profiles must dedup (ratio {})",
+            interned.interning_ratio()
+        );
         assert_eq!(interned.ops(a), 3 * 4096);
-        // A raw store keeps everything; both replay identically.
+        // A raw store pays for every profile; both replay identically.
         let mut raw = TraceStore::raw();
         let b = raw.insert("synthetic", config, &ops);
-        assert_eq!(raw.stored_ops(), 3 * 4096);
+        assert!((raw.interning_ratio() - 1.0).abs() < f64::EPSILON);
+        assert!(raw.encoded_bytes() > interned.encoded_bytes());
         let ra = interned.replay_serial(a, config);
         let rb = raw.replay_serial(b, config);
         assert!(ra.metrics.replay_eq(&rb.metrics));
         assert_eq!(ra.metrics.references(), 3 * 4096);
+    }
+
+    #[test]
+    fn trace_store_decode_round_trips_and_compresses() {
+        let config = MachineConfig::paper_base(Protocol::paper_rnuma());
+        let (_, trace) = run_traced(config, &mut Stream { words: 2048 });
+        let mut store = TraceStore::new();
+        let id = store.insert("stream", config, &trace);
+        assert_eq!(store.decode(id), trace, "decode must invert encode");
+        assert!(
+            store.footprint_ratio() >= 4.0,
+            "columnar encoding must compress the stream ≥ 4× (got {:.2}×: {} flat vs {} encoded bytes)",
+            store.footprint_ratio(),
+            store.flat_bytes(),
+            store.encoded_bytes()
+        );
+        // Without spilling, everything encoded is resident.
+        assert_eq!(store.spilled_bytes(), 0);
+        assert_eq!(store.resident_bytes(), store.encoded_bytes());
     }
 
     #[test]

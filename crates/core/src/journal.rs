@@ -579,6 +579,157 @@ mod tests {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// Json::get finds the *first* matching field, so a duplicate
+    /// field name cannot smuggle a second value past the parser.
+    #[test]
+    fn duplicate_json_fields_first_wins() {
+        let m = sample_metrics();
+        let mut line =
+            String::from("{\"key\":\"00000000000000aa\",\"key\":\"00000000000000bb\",\"metrics\":");
+        push_metrics_json(&m, &mut line);
+        line.push('}');
+        let (key, parsed) = parse_entry(&line).expect("duplicate fields still parse");
+        assert_eq!(key, 0xaa, "first key field wins");
+        assert!(m.replay_eq(&parsed));
+    }
+
+    /// Builds a `Metrics` from flat random material: 22 counters, a
+    /// per-CPU cycle vector, and a page-profile table.
+    #[allow(clippy::type_complexity)]
+    fn metrics_from(vals: &[u64], per_cpu: &[u64], pages: &[(u64, u64, u64, u64, u64)]) -> Metrics {
+        let mut m = Metrics {
+            reads: vals[0],
+            writes: vals[1],
+            l1_hits: vals[2],
+            mru_translation_hits: vals[3],
+            l1_misses: vals[4],
+            c2c_transfers: vals[5],
+            local_fills: vals[6],
+            block_cache_hits: vals[7],
+            page_cache_hits: vals[8],
+            remote_fetches: vals[9],
+            refetches: vals[10],
+            relocation_interrupts: vals[11],
+            os: OsStats {
+                page_faults: vals[12],
+                ccnuma_maps: vals[13],
+                scoma_allocations: vals[14],
+                page_replacements: vals[15],
+                relocations: vals[16],
+                tlb_shootdowns: vals[17],
+                blocks_flushed: vals[18],
+            },
+            exec_cycles: Cycles(vals[19]),
+            per_cpu_cycles: per_cpu.iter().copied().map(Cycles).collect(),
+            net_messages: vals[20],
+            ni_wait: Cycles(vals[21]),
+            pages: rnuma_mem::fxmap::FxMap::new(),
+        };
+        for &(page, accessors, writers, refetches, remote) in pages {
+            m.pages.insert(
+                VPage(page),
+                PageProfile {
+                    accessors: NodeMask::from_bits(accessors),
+                    writers: NodeMask::from_bits(writers),
+                    refetches,
+                    remote_fetches: remote,
+                },
+            );
+        }
+        m
+    }
+
+    /// Serializes `m` exactly as `Journal::record` writes it (sans the
+    /// trailing newline).
+    fn entry_line(key: u64, m: &Metrics) -> String {
+        let mut line =
+            format!("{{\"key\":\"{key:016x}\",\"app\":\"a\",\"protocol\":\"p\",\"metrics\":");
+        push_metrics_json(m, &mut line);
+        line.push('}');
+        line
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any serializable `Metrics` — random counters across the
+        /// full magnitude range, random CPU-cycle vectors, random page
+        /// profiles — survives a serialize/parse round trip **exactly**
+        /// (`replay_eq`), with its cell key intact.
+        #[test]
+        fn serialized_metrics_round_trip_exactly(
+            key in 0u64..u64::MAX,
+            vals in prop::collection::vec(0u64..u64::MAX / 2, 22..23),
+            per_cpu in prop::collection::vec(0u64..1_000_000_000_000, 0..9),
+            pages in prop::collection::vec(
+                (0u64..(1 << 40), 0u64..(1 << 16), 0u64..(1 << 16), 0u64..1_000, 0u64..1_000),
+                0..12,
+            ),
+        ) {
+            let m = metrics_from(&vals, &per_cpu, &pages);
+            let (k, parsed) = parse_entry(&entry_line(key, &m))
+                .expect("well-formed entries parse");
+            prop_assert_eq!(k, key);
+            prop_assert!(m.replay_eq(&parsed), "round trip must be bit-identical");
+        }
+
+        /// Every strict prefix of a well-formed journal line — the torn
+        /// tail a killed process leaves — fails to parse. No truncation
+        /// point yields a silently different entry.
+        #[test]
+        fn torn_prefixes_never_parse(
+            key in 0u64..u64::MAX,
+            vals in prop::collection::vec(0u64..u64::MAX / 2, 22..23),
+            per_cpu in prop::collection::vec(0u64..1_000_000, 1..5),
+            cut_permille in 0usize..1000,
+        ) {
+            let m = metrics_from(&vals, &per_cpu, &[(7, 3, 1, 0, 2)]);
+            let line = entry_line(key, &m);
+            let cut = cut_permille * line.len() / 1000;
+            prop_assert!(cut < line.len(), "cut must be strict");
+            prop_assert!(
+                parse_entry(&line[..cut]).is_none(),
+                "torn prefix of length {} (of {}) must not parse",
+                cut,
+                line.len()
+            );
+        }
+
+        /// Duplicate cell keys across journal lines: `Journal::open`
+        /// keeps the *last* record — a re-run that re-journals a cell
+        /// supersedes the stale entry, never resurrects it.
+        #[test]
+        fn duplicate_cell_keys_last_record_wins(
+            key in 0u64..u64::MAX,
+            a in prop::collection::vec(0u64..1_000_000, 22..23),
+            b in prop::collection::vec(0u64..1_000_000, 22..23),
+        ) {
+            let first = metrics_from(&a, &[1, 2], &[]);
+            let second = metrics_from(&b, &[3], &[(9, 1, 1, 0, 0)]);
+            let dir = std::env::temp_dir().join(format!(
+                "rnuma-journal-prop-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("dup.jsonl");
+            std::fs::write(
+                &path,
+                format!("{}\n{}\n", entry_line(key, &first), entry_line(key, &second)),
+            )
+            .unwrap();
+            let j = Journal::open(&path).unwrap();
+            prop_assert_eq!(j.entries(), 1, "duplicate keys collapse to one entry");
+            prop_assert!(
+                j.lookup(key).expect("key is present").replay_eq(&second),
+                "the later record must win"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
     #[test]
     fn cell_keys_separate_all_components() {
         let a = MachineConfig::paper_base(crate::config::Protocol::paper_rnuma());

@@ -79,6 +79,7 @@ pub mod metrics;
 pub mod model;
 pub mod program;
 pub mod shard;
+mod trace;
 
 pub use config::{MachineConfig, Protocol};
 pub use experiment::{

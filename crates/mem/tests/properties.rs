@@ -293,6 +293,70 @@ proptest! {
         }
     }
 
+    /// Page-boundary-straddling access patterns: runs of *consecutive*
+    /// blocks whose start offsets land anywhere in a page, long enough
+    /// to cross the 64-bit touched-bitmap word boundary (index 63→64)
+    /// and the page boundary (index 127→page+1) in one sweep. The
+    /// bitmap must mark exactly the run's blocks — never bleeding into
+    /// untouched neighbors on either side of a boundary — counts must
+    /// track distinct blocks (not touches), and per-page iteration must
+    /// come back in ascending block order regardless of the order the
+    /// straddling runs arrived in.
+    #[test]
+    fn boundary_straddling_runs_touch_exactly_their_blocks(
+        runs in prop::collection::vec(
+            (0u64..15, 0u64..BLOCKS_PER_PAGE, 1u64..(2 * BLOCKS_PER_PAGE + 2)),
+            1..40,
+        )
+    ) {
+        let mut paged: PagedMap<u32> = PagedMap::new();
+        let mut model: std::collections::BTreeMap<u64, u32> =
+            std::collections::BTreeMap::new();
+        for &(page, offset, len) in &runs {
+            let start = page * BLOCKS_PER_PAGE + offset;
+            for b in start..start + len {
+                *paged.entry_or_default(VBlock(b)) += 1;
+                *model.entry(b).or_insert(0) += 1;
+            }
+        }
+        // Exactly the run blocks are touched, with per-block touch
+        // counts intact (no bleed across word or page boundaries), and
+        // everything else — including the immediate neighbors of every
+        // run end — stays absent.
+        let domain = 18 * BLOCKS_PER_PAGE;
+        for b in 0..domain {
+            prop_assert_eq!(
+                paged.get(VBlock(b)).copied(),
+                model.get(&b).copied(),
+                "block {} (page {}, index {})",
+                b,
+                VBlock(b).vpage().0,
+                VBlock(b).index_in_page()
+            );
+        }
+        prop_assert_eq!(paged.len(), model.len());
+        let pages: std::collections::BTreeSet<u64> =
+            model.keys().map(|&b| VBlock(b).vpage().0).collect();
+        prop_assert_eq!(paged.pages(), pages.len());
+        // Iteration order: ascending within each page, tiling the model
+        // exactly — a run that arrived high-to-low page still reads
+        // back low-to-high.
+        for page in 0..18u64 {
+            let from_model: Vec<(VBlock, u32)> = model
+                .range(page * BLOCKS_PER_PAGE..(page + 1) * BLOCKS_PER_PAGE)
+                .map(|(&b, &v)| (VBlock(b), v))
+                .collect();
+            let from_paged: Vec<(VBlock, u32)> = paged
+                .page_entries(VPage(page))
+                .map(|(b, &v)| (b, v))
+                .collect();
+            for pair in from_paged.windows(2) {
+                prop_assert!(pair[0].0 .0 < pair[1].0 .0, "page {} out of order", page);
+            }
+            prop_assert_eq!(from_paged, from_model, "page {}", page);
+        }
+    }
+
     /// Block-cache flush_page removes exactly the page's resident blocks.
     #[test]
     fn block_cache_flush_is_exact(

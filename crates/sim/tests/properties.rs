@@ -143,3 +143,114 @@ proptest! {
         }
     }
 }
+
+use rnuma_sim::fault::{FaultKind, FaultPlan};
+use std::fmt::Write as _;
+
+/// Every fault kind, in the spec grammar's vocabulary.
+const ALL_KINDS: [FaultKind; 6] = [
+    FaultKind::PanicBefore,
+    FaultKind::PanicAfter,
+    FaultKind::Hang,
+    FaultKind::Poison,
+    FaultKind::CapturePressure,
+    FaultKind::SweepAbort,
+];
+
+/// Two plans are behaviorally equivalent iff they make the same firing
+/// decisions, in order, for every kind (and sleep the same on hangs).
+fn assert_same_decisions(mut a: FaultPlan, mut b: FaultPlan) -> Result<(), String> {
+    if a.hang_ms() != b.hang_ms() {
+        return Err(format!("hang_ms {} != {}", a.hang_ms(), b.hang_ms()));
+    }
+    for kind in ALL_KINDS {
+        for n in 0..96u64 {
+            let (fa, fb) = (a.should_fire(kind), b.should_fire(kind));
+            if fa != fb {
+                return Err(format!("decision {n} for {kind} diverged: {fa} vs {fb}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The `RNUMA_FAULTS` grammar round-trips: a plan assembled from
+    /// random `seed=`/`hang_ms=`/`kind@N`/`kind~P` components, rendered
+    /// as a spec string (comma- or whitespace-separated) and parsed
+    /// back, makes exactly the same firing decisions as the same plan
+    /// built through the `FaultPlan` builder API.
+    #[test]
+    fn rendered_fault_specs_parse_back_equivalent(
+        seed in any::<u64>(),
+        hang_ms in 0u64..100_000,
+        events in prop::collection::vec((0usize..6, 0u64..64), 0..8),
+        rates in prop::collection::vec((0usize..6, 0u64..1001), 0..6),
+        spaces in 0usize..2,
+    ) {
+        let sep = if spaces == 1 { ' ' } else { ',' };
+        let mut built = FaultPlan::new(seed).with_hang_ms(hang_ms);
+        let mut spec = format!("seed={seed}{sep}hang_ms={hang_ms}");
+        for &(k, i) in &events {
+            let kind = ALL_KINDS[k];
+            built = built.at(kind, i);
+            let _ = write!(spec, "{sep}{}@{i}", kind.label());
+        }
+        for &(k, permille) in &rates {
+            let kind = ALL_KINDS[k];
+            let p = permille as f64 / 1000.0;
+            built = built.rate(kind, p);
+            let _ = write!(spec, "{sep}{}~{p}", kind.label());
+        }
+        let parsed = FaultPlan::parse(&spec);
+        prop_assert!(parsed.is_ok(), "rendered spec {:?} rejected", spec);
+        let verdict = assert_same_decisions(built, parsed.unwrap());
+        prop_assert!(
+            verdict.is_ok(),
+            "spec {:?}: {}",
+            spec,
+            verdict.unwrap_err()
+        );
+    }
+
+    /// One malformed token anywhere in an otherwise valid spec rejects
+    /// the whole plan with an error naming the token — the warn-once
+    /// path `FaultPlan::from_env` takes, never a partial plan.
+    #[test]
+    fn malformed_tokens_reject_the_whole_spec(
+        seed in any::<u64>(),
+        good in prop::collection::vec((0usize..6, 0u64..64), 0..4),
+        bad_idx in 0usize..10,
+        prepend in 0usize..2,
+    ) {
+        let bad = [
+            "banana",
+            "bogus@1",
+            "panic_before@x",
+            "panic_before@",
+            "panic_before~2.0",
+            "panic_before~-0.5",
+            "panic_before~x",
+            "~0.5",
+            "@1",
+            "seed=abc",
+        ][bad_idx];
+        let mut spec = format!("seed={seed}");
+        for &(k, i) in &good {
+            let _ = write!(spec, ",{}@{i}", ALL_KINDS[k].label());
+        }
+        let spec = if prepend == 1 {
+            format!("{bad},{spec}")
+        } else {
+            format!("{spec},{bad}")
+        };
+        let err = FaultPlan::parse(&spec);
+        prop_assert!(err.is_err(), "malformed spec {spec:?} parsed");
+        prop_assert!(
+            err.unwrap_err().contains(bad),
+            "the diagnostic must name the offending token"
+        );
+    }
+}

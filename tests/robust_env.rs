@@ -187,6 +187,29 @@ fn shard_misconfiguration_warns_once_and_completes() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A malformed `RNUMA_FAULTS` spec warns exactly once per process on
+/// stderr — even though every capture and every sharded replay
+/// consults the plan — and the figure still regenerates successfully.
+#[test]
+fn fault_misconfiguration_warns_once_and_completes() {
+    let dir = temp_dir("faults-warn-once");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig5_pages"))
+        .args(["--scale", "tiny"])
+        .env_clear()
+        .env("RNUMA_RESULTS_DIR", &dir)
+        .env("RNUMA_FAULTS", "banana")
+        .output()
+        .expect("spawn fig5_pages");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "fig5_pages failed; stderr: {stderr}");
+    assert_eq!(
+        stderr.matches("ignoring RNUMA_FAULTS").count(),
+        1,
+        "want exactly one warning; stderr was: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A figure binary under an active fault plan (worker panics at a 20%
 /// rate, sharded execution forced) completes successfully: injected
 /// faults self-heal instead of aborting the run.

@@ -1,0 +1,524 @@
+//! The trace-codec differential lane: the columnar, delta-encoded
+//! `TraceStore` segment format is the **only** storage format, so its
+//! decode must be *exact* — bit-identical ops out for ops in — and
+//! every replay mode fed from it must agree with the live execution.
+//!
+//! Three layers of drills (see `docs/SWEEP.md`, "Trace encoding"):
+//!
+//! 1. **Codec round-trips** — unit and property tests over adversarial
+//!    streams: descending walks (stride sign flips through the zigzag
+//!    varints), CPU-alternating unit runs, multi-byte strides past
+//!    2³², empty and single-op streams, and runs split across segment
+//!    boundaries. Decoded ops must equal the originals exactly, and
+//!    the per-segment run tables must tile their segments.
+//! 2. **Three-way pinning** — encoded replay ≡ flat replay ≡ live
+//!    execution (`Metrics::replay_eq`) across the full figure grid,
+//!    plus streaming capture ≡ materialized insert.
+//! 3. **Spill drills** — a store spilling profile bytes to disk
+//!    (`RNUMA_TRACE_SPILL` / `TraceStore::spilled_to`) replays
+//!    bit-identically, removes its file on drop, and fails *loudly*
+//!    on a torn (truncated) spill file instead of decoding garbage.
+//!
+//! The footprint acceptance (encoded ≥ 4× smaller than the flat
+//! 24-byte-per-op array on sweep workloads) and the interning
+//! regression (shared page profiles actually dedup: ratio < 1.0) are
+//! pinned here too.
+
+use proptest::prelude::*;
+use rnuma::config::MachineConfig;
+use rnuma::experiment::{run_traced, TraceStore};
+use rnuma::metrics::Metrics;
+use rnuma::shard::{CpuRun, ShardedMachine, TraceOp};
+use rnuma::Machine;
+use rnuma_mem::addr::{CpuId, Va};
+use rnuma_sim::Cycles;
+use rnuma_workloads::{by_name, Scale, APP_NAMES};
+
+#[path = "support.rs"]
+mod support;
+use support::{figure_configs, forced_pool};
+
+/// Replays `ops` through the flat batched engine (no store involved).
+fn flat_replay(config: MachineConfig, ops: &[TraceOp]) -> Metrics {
+    let mut m = Machine::new(config).expect("valid config");
+    m.apply_batch(ops);
+    m.metrics()
+}
+
+/// Asserts `store`'s decoded form of `id` is exactly `ops`, and that
+/// each decoded batch's run table tiles its op chunk.
+fn assert_exact_decode(store: &TraceStore, id: rnuma::experiment::TraceId, ops: &[TraceOp]) {
+    assert_eq!(
+        store.decode(id).as_slice(),
+        ops,
+        "decoded stream is not bit-identical to the captured ops"
+    );
+    let mut rebuilt: Vec<TraceOp> = Vec::with_capacity(ops.len());
+    store.for_each_batch(id, |chunk, runs| {
+        let tiled: usize = runs
+            .iter()
+            .map(|r| match *r {
+                CpuRun::Cpu { len, .. } => len as usize,
+                CpuRun::Global => 1,
+            })
+            .sum();
+        assert_eq!(tiled, chunk.len(), "run table does not tile its segment");
+        rebuilt.extend_from_slice(chunk);
+    });
+    assert_eq!(
+        rebuilt.as_slice(),
+        ops,
+        "batch chunks do not concatenate to the stream"
+    );
+}
+
+/// The headline three-way: every cell of the figure grid, executed
+/// live, replayed flat from the original op array, and replayed from
+/// the encoded store (serial and sharded) — all bit-identical, with
+/// the decode itself exact.
+#[test]
+fn encoded_flat_and_live_agree_across_the_figure_grid() {
+    for &app in &APP_NAMES {
+        for config in figure_configs() {
+            let mut w = by_name(app, Scale::Tiny).expect("known app");
+            let (live, trace) = run_traced(config, &mut w);
+            let mut store = TraceStore::new();
+            let id = store.insert("cell", config, &trace);
+            assert_exact_decode(&store, id, &trace);
+
+            let flat = flat_replay(config, &trace);
+            assert!(
+                live.metrics.replay_eq(&flat),
+                "{app} on {}: flat replay diverged from live",
+                config.protocol
+            );
+            let encoded = store.replay_serial(id, config).metrics;
+            assert!(
+                live.metrics.replay_eq(&encoded),
+                "{app} on {}: encoded replay diverged from live\nlive:    {}\nencoded: {encoded}",
+                config.protocol,
+                live.metrics
+            );
+            let mut sm = ShardedMachine::with_pool(config, 4, forced_pool()).expect("valid config");
+            sm.set_parallel_threshold(64);
+            store.replay_sharded(id, &mut sm);
+            assert!(
+                live.metrics.replay_eq(&sm.metrics()),
+                "{app} on {}: sharded encoded replay diverged from live",
+                config.protocol
+            );
+        }
+    }
+}
+
+/// Streaming capture (bounded-memory chunked encoding, no flat array)
+/// produces the same encoded stream as materializing the trace first:
+/// same content hash, same decode, same replay results.
+#[test]
+fn streaming_capture_matches_materialized_insert() {
+    let configs = figure_configs();
+    for app in ["em3d", "lu", "radix"] {
+        let (live, trace) = run_traced(configs[0], &mut by_name(app, Scale::Tiny).unwrap());
+
+        let mut streamed = TraceStore::new();
+        let (sid, report) = streamed.capture(configs[0], &mut by_name(app, Scale::Tiny).unwrap());
+        assert!(
+            live.metrics.replay_eq(&report.metrics),
+            "{app}: streaming capture perturbed the live run"
+        );
+
+        let mut materialized = TraceStore::new();
+        let mid = materialized.insert("cell", configs[0], &trace);
+
+        assert_eq!(streamed.ops(sid), materialized.ops(mid));
+        assert_eq!(
+            streamed.content_hash(sid),
+            materialized.content_hash(mid),
+            "{app}: streamed and materialized stores encoded different streams"
+        );
+        assert_exact_decode(&streamed, sid, &trace);
+        for &config in &configs {
+            let a = streamed.replay_serial(sid, config).metrics;
+            let b = materialized.replay_serial(mid, config).metrics;
+            assert!(
+                a.replay_eq(&b),
+                "{app} on {}: streamed vs materialized replay diverged",
+                config.protocol
+            );
+        }
+    }
+}
+
+/// The footprint acceptance: across the sweep bench workloads the
+/// encoded store is at least 4× smaller than the flat 24-byte op
+/// array it replaced.
+#[test]
+fn figure_grid_capture_compresses_at_least_4x() {
+    let config = figure_configs()[0];
+    let mut store = TraceStore::new();
+    for &app in &APP_NAMES {
+        store.capture(config, &mut by_name(app, Scale::Tiny).unwrap());
+    }
+    assert_eq!(
+        store.flat_bytes(),
+        store.captured_ops() * std::mem::size_of::<TraceOp>() as u64
+    );
+    assert!(
+        store.footprint_ratio() >= 4.0,
+        "columnar encoding must stay ≥ 4× smaller than the flat array \
+         (got {:.2}×: {} flat vs {} encoded bytes over {} ops)",
+        store.footprint_ratio(),
+        store.flat_bytes(),
+        store.encoded_bytes(),
+        store.captured_ops()
+    );
+}
+
+/// The interning regression (PR 7): profiles are interned at
+/// page-*relative* granularity, so two workloads touching the same
+/// relative patterns at different bases share storage — the ratio
+/// actually drops below 1.0 instead of sitting at 1.000 forever.
+#[test]
+fn shared_page_profiles_intern_across_workloads() {
+    let config = figure_configs()[0];
+    let mut store = TraceStore::new();
+    store.capture(config, &mut by_name("em3d", Scale::Tiny).unwrap());
+    store.capture(config, &mut by_name("em3d", Scale::Tiny).unwrap());
+    assert!(
+        store.interning_ratio() < 1.0,
+        "two captures of the same workload must share page profiles \
+         (interning_ratio = {:.3})",
+        store.interning_ratio()
+    );
+
+    // The base-relative property directly: the same walk shifted to a
+    // different base address is byte-identical after delta encoding,
+    // so the second stream's profiles all dedup against the first's.
+    let walk = |base: u64| -> Vec<TraceOp> {
+        (0..6000u64)
+            .map(|i| TraceOp::Access {
+                cpu: CpuId((i % 4) as u16),
+                va: Va(base + (i % 512) * 32),
+                write: i % 5 == 0,
+            })
+            .collect()
+    };
+    let mut shifted = TraceStore::new();
+    shifted.insert("low", config, &walk(0x4000));
+    let after_first = shifted.encoded_bytes();
+    shifted.insert("high", config, &walk(0x40_0000));
+    assert!(
+        shifted.interning_ratio() < 1.0,
+        "base-shifted identical walks must intern (ratio = {:.3})",
+        shifted.interning_ratio()
+    );
+    // The second stream added run/segment metadata but no new profile
+    // bytes worth a second copy of the first stream.
+    assert!(
+        shifted.encoded_bytes() < after_first * 2,
+        "interning saved nothing: {} bytes after one stream, {} after two",
+        after_first,
+        shifted.encoded_bytes()
+    );
+}
+
+/// Empty and single-op streams round-trip and replay exactly.
+#[test]
+fn empty_and_single_op_streams_round_trip() {
+    let config = figure_configs()[3];
+    let mut store = TraceStore::new();
+
+    let empty = store.insert("empty", config, &[]);
+    assert_exact_decode(&store, empty, &[]);
+    let fresh = Machine::new(config).unwrap().metrics();
+    assert!(fresh.replay_eq(&store.replay_serial(empty, config).metrics));
+
+    for one in [
+        vec![TraceOp::Access {
+            cpu: CpuId(3),
+            va: Va(0x2000),
+            write: true,
+        }],
+        vec![TraceOp::Think {
+            cpu: CpuId(0),
+            dur: Cycles(17),
+        }],
+        vec![TraceOp::Barrier],
+        vec![TraceOp::ArmFirstTouch],
+    ] {
+        let id = store.insert("one", config, &one);
+        assert_exact_decode(&store, id, &one);
+        let flat = flat_replay(config, &one);
+        assert!(flat.replay_eq(&store.replay_serial(id, config).metrics));
+    }
+}
+
+/// Stride sign flips: a strictly descending walk (every delta
+/// negative through the zigzag coding), a sawtooth alternating sign
+/// every op, and strides wider than 2³² (multi-byte varints) all
+/// decode exactly. Addresses here are wild on purpose — this drills
+/// the codec, not the machine, so only decode equality is asserted.
+#[test]
+fn sign_flipping_and_wide_strides_round_trip() {
+    let mut store = TraceStore::new();
+    let config = figure_configs()[0];
+
+    let mut descending = Vec::new();
+    let mut va = 0x7000_0000u64;
+    for i in 0..9000u64 {
+        va -= 32 + (i % 7) * 8;
+        descending.push(TraceOp::Access {
+            cpu: CpuId((i % 3) as u16),
+            va: Va(va),
+            write: i % 2 == 0,
+        });
+    }
+    let id = store.insert("descending", config, &descending);
+    assert_exact_decode(&store, id, &descending);
+
+    let mut sawtooth = Vec::new();
+    for i in 0..5000u64 {
+        let va = if i % 2 == 0 {
+            0x1_0000 + i
+        } else {
+            0xFFFF_0000 - i
+        };
+        sawtooth.push(TraceOp::Access {
+            cpu: CpuId(0),
+            va: Va(va),
+            write: false,
+        });
+    }
+    let id = store.insert("sawtooth", config, &sawtooth);
+    assert_exact_decode(&store, id, &sawtooth);
+
+    // Deltas past 2³² in both directions, including the u64 extremes:
+    // the zigzag varints must carry the full 64-bit domain.
+    let wide = vec![
+        TraceOp::Access {
+            cpu: CpuId(0),
+            va: Va(0),
+            write: false,
+        },
+        TraceOp::Access {
+            cpu: CpuId(0),
+            va: Va(u64::MAX),
+            write: true,
+        },
+        TraceOp::Access {
+            cpu: CpuId(0),
+            va: Va(1 << 33),
+            write: false,
+        },
+        TraceOp::Access {
+            cpu: CpuId(1),
+            va: Va(0xDEAD_BEEF_CAFE_F00D),
+            write: true,
+        },
+        TraceOp::Barrier,
+        TraceOp::Access {
+            cpu: CpuId(1),
+            va: Va(42),
+            write: false,
+        },
+        TraceOp::Access {
+            cpu: CpuId(0),
+            va: Va(1 << 62),
+            write: false,
+        },
+    ];
+    let id = store.insert("wide", config, &wide);
+    assert_exact_decode(&store, id, &wide);
+}
+
+/// A single same-CPU run far longer than one segment: the encoder
+/// splits it across segment boundaries and the per-CPU base references
+/// reset per segment, yet the decode tiles back exactly and replays
+/// bit-identically to the flat engine.
+#[test]
+fn runs_split_across_segment_boundaries_round_trip() {
+    let config = figure_configs()[1];
+    let mut ops = vec![TraceOp::ArmFirstTouch];
+    for i in 0..20_000u64 {
+        ops.push(TraceOp::Access {
+            cpu: CpuId(0),
+            va: Va(0x10_0000 + (i % 4096) * 32),
+            write: i % 9 == 0,
+        });
+    }
+    let mut store = TraceStore::new();
+    let id = store.insert("long", config, &ops);
+    let mut segments = 0usize;
+    store.for_each_batch(id, |_, _| segments += 1);
+    assert!(segments >= 4, "stream must span several segments to bite");
+    assert_exact_decode(&store, id, &ops);
+    assert!(flat_replay(config, &ops).replay_eq(&store.replay_serial(id, config).metrics));
+}
+
+/// A store spilling profile bytes to disk decodes and replays exactly
+/// like a resident store, reports its spilled footprint, and removes
+/// the spill file when dropped.
+#[test]
+fn spilled_store_replays_bit_identical_and_cleans_up() {
+    let dir = std::env::temp_dir().join(format!("rnuma-trace-codec-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let configs = figure_configs();
+    let (live, trace) = run_traced(configs[0], &mut by_name("em3d", Scale::Tiny).unwrap());
+
+    let mut resident = TraceStore::new();
+    let rid = resident.insert("em3d", configs[0], &trace);
+    assert_eq!(resident.spilled_bytes(), 0);
+    assert!(resident.spill_path().is_none());
+
+    let spill_path;
+    {
+        let mut spilled = TraceStore::spilled_to(&dir);
+        let sid = spilled.insert("em3d", configs[0], &trace);
+        spill_path = spilled
+            .spill_path()
+            .expect("spilled store has a file")
+            .to_path_buf();
+        assert!(spill_path.exists(), "spill file was never created");
+        assert!(spilled.spilled_bytes() > 0, "no profile bytes were spilled");
+        assert!(
+            spilled.resident_bytes() < spilled.encoded_bytes(),
+            "spilling must shrink the resident footprint"
+        );
+        assert_eq!(spilled.content_hash(sid), resident.content_hash(rid));
+        assert_exact_decode(&spilled, sid, &trace);
+        for &config in &configs {
+            let a = spilled.replay_serial(sid, config).metrics;
+            assert!(
+                a.replay_eq(&resident.replay_serial(rid, config).metrics),
+                "spilled vs resident replay diverged on {}",
+                config.protocol
+            );
+            if config == configs[0] {
+                assert!(
+                    live.metrics.replay_eq(&a),
+                    "spilled replay diverged from live"
+                );
+            }
+        }
+    }
+    assert!(!spill_path.exists(), "spill file must be removed on drop");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The torn-file drill: a spill file truncated out from under the
+/// store (a crashed writer, a full disk) fails **loudly** at decode —
+/// never silently replaying garbage.
+#[test]
+#[should_panic(expected = "truncated or unreadable")]
+fn torn_spill_file_fails_loudly() {
+    let dir = std::env::temp_dir().join(format!("rnuma-trace-torn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = figure_configs()[0];
+    let (_, trace) = run_traced(config, &mut by_name("em3d", Scale::Tiny).unwrap());
+    let mut store = TraceStore::spilled_to(&dir);
+    let id = store.insert("em3d", config, &trace);
+    let path = store
+        .spill_path()
+        .expect("spilled store has a file")
+        .to_path_buf();
+    let len = std::fs::metadata(&path).unwrap().len();
+    assert!(len > 0);
+    // Tear the file: keep the first half, drop the tail.
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .unwrap()
+        .set_len(len / 2)
+        .unwrap();
+    let _ = store.decode(id); // must panic
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Adversarial random streams — random CPUs, wandering addresses
+    /// with sign-flipping strides up to 2⁴⁰, think time, barriers,
+    /// first-touch arms — round-trip the codec exactly and tile their
+    /// segments. Pure codec drill: addresses span the full wild range.
+    #[test]
+    fn adversarial_streams_round_trip_exactly(
+        start in 0u64..(1 << 48),
+        stream in prop::collection::vec(
+            (0u16..32, 0u8..10, 0u64..(1u64 << 40)),
+            1..600,
+        ),
+    ) {
+        let config = figure_configs()[0];
+        let mut ops = Vec::with_capacity(stream.len());
+        let mut va = start;
+        for &(cpu, kind, stride) in &stream {
+            match kind {
+                0 => ops.push(TraceOp::Barrier),
+                1 => ops.push(TraceOp::ArmFirstTouch),
+                2 | 3 => ops.push(TraceOp::Think { cpu: CpuId(cpu), dur: Cycles(stride) }),
+                k => {
+                    // Odd kinds walk down, even kinds walk up: dense
+                    // sign flips through the zigzag coding.
+                    va = if k % 2 == 1 {
+                        va.wrapping_sub(stride)
+                    } else {
+                        va.wrapping_add(stride)
+                    };
+                    ops.push(TraceOp::Access { cpu: CpuId(cpu), va: Va(va), write: k == 4 });
+                }
+            }
+        }
+        let mut store = TraceStore::new();
+        let id = store.insert("adversarial", config, &ops);
+        prop_assert_eq!(store.decode(id).as_slice(), ops.as_slice());
+        let mut rebuilt: Vec<TraceOp> = Vec::new();
+        store.for_each_batch(id, |chunk, runs| {
+            let tiled: usize = runs.iter().map(|r| match *r {
+                CpuRun::Cpu { len, .. } => len as usize,
+                CpuRun::Global => 1,
+            }).sum();
+            assert_eq!(tiled, chunk.len(), "run table does not tile its segment");
+            rebuilt.extend_from_slice(chunk);
+        });
+        prop_assert_eq!(rebuilt.as_slice(), ops.as_slice());
+    }
+
+    /// Random *machine-realistic* streams: encoded replay stays
+    /// bit-identical to flat replay on every figure protocol (the
+    /// differential half, with addresses the machine actually maps).
+    #[test]
+    fn random_streams_replay_identically_encoded_vs_flat(
+        config_idx in 0usize..4,
+        stream in prop::collection::vec(
+            (0u16..32, 0u64..24, 0u64..128, 0u32..10),
+            1..400,
+        ),
+    ) {
+        let config = figure_configs()[config_idx];
+        let mut ops = vec![TraceOp::ArmFirstTouch];
+        for &(cpu, page, block, flags) in &stream {
+            ops.push(TraceOp::Access {
+                cpu: CpuId(cpu),
+                va: Va(0x4000 + page * 4096 + block * 32),
+                write: flags & 1 == 1,
+            });
+            if flags == 7 {
+                ops.push(TraceOp::Barrier);
+            }
+            if flags == 8 {
+                ops.push(TraceOp::Think { cpu: CpuId(cpu), dur: Cycles(block) });
+            }
+        }
+        let mut store = TraceStore::new();
+        let id = store.insert("random", config, &ops);
+        prop_assert_eq!(store.decode(id).as_slice(), ops.as_slice());
+        let flat = flat_replay(config, &ops);
+        let encoded = store.replay_serial(id, config).metrics;
+        prop_assert!(
+            flat.replay_eq(&encoded),
+            "encoded replay diverged from flat:\nflat:    {}\nencoded: {}",
+            flat,
+            encoded
+        );
+    }
+}
