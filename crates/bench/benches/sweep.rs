@@ -9,7 +9,10 @@
 //!
 //! With `RNUMA_SWEEP_GATE` set (CI does), the run **fails** when the
 //! batched-vs-per-op replay speedup falls more than 10% below the
-//! committed baseline (`crates/bench/baselines/BENCH_sweep.json`).
+//! committed baseline (`crates/bench/baselines/BENCH_sweep.json`), or
+//! when the pipelined pooled lane falls below 1.0x of the serial
+//! batched engine on a host with ≥ 4 cores (smaller hosts skip that
+//! gate loudly — SKIPPED in the log, never silently green).
 //!
 //! Run with: `cargo bench -p rnuma-bench --bench sweep`
 
@@ -103,17 +106,32 @@ fn main() {
                      crates/bench/baselines/BENCH_sweep.json is missing — the gate cannot arm"
             .into()),
     };
+    let mut failed = false;
     match verdict {
         Ok(line) => println!("{line}"),
         Err(line) => {
             eprintln!("{line}");
-            if gated {
-                lane.emit();
-                std::process::exit(1);
-            }
-            println!("(non-fatal: RNUMA_SWEEP_GATE is unset)");
+            failed = true;
+        }
+    }
+
+    // The pooled-executor gate: the pipelined pooled lane must not be
+    // slower than the serial batched engine where the hardware can
+    // actually run the pool (≥ 4 cores). Under-provisioned hosts get a
+    // loud SKIPPED line instead of a vacuous PASS.
+    match sweep::pooled_gate(&lane) {
+        Ok(line) => println!("{line}"),
+        Err(line) => {
+            eprintln!("{line}");
+            failed = true;
         }
     }
 
     lane.emit();
+    if failed {
+        if gated {
+            std::process::exit(1);
+        }
+        println!("(non-fatal: RNUMA_SWEEP_GATE is unset)");
+    }
 }

@@ -907,10 +907,12 @@ fn seg_hash(ops: &[TraceOp]) -> u64 {
 
 /// Asserts that a pool-backed sharded replay on `config` is
 /// bit-identical to `report` (the serial execution of the same
-/// stream). `feed` drives the stream into the sharded machine —
-/// a flat `run_trace` or a segment-by-segment decoded replay; the
-/// executor folds its metrics after every feed, so the two are
-/// equivalent.
+/// stream) — through **both** window engines: the pipelined executor
+/// (scan overlapped with pool execution) and the plain barrier engine
+/// it is differentially pinned against. `feed` drives the stream into
+/// each sharded machine — a flat `run_trace` or a segment-by-segment
+/// decoded replay; the executor folds its metrics after every feed, so
+/// the two are equivalent.
 ///
 /// Runs on [`ShardPool::checking`], which always has workers — a
 /// zero-worker pool would make the executor bypass itself and turn the
@@ -919,20 +921,24 @@ fn check_sharded_replay(
     report: &RunReport,
     config: MachineConfig,
     shards: usize,
-    feed: impl FnOnce(&mut ShardedMachine),
+    feed: impl Fn(&mut ShardedMachine),
 ) {
-    let mut sharded = ShardedMachine::with_pool(config, shards, ShardPool::checking())
-        .expect("config validated by caller");
-    feed(&mut sharded);
-    assert!(
-        report.metrics.replay_eq(&sharded.metrics()),
-        "sharded replay ({shards} shards) diverged from serial for {} on {}:\n\
-         serial:  {}\nsharded: {}",
-        report.workload,
-        report.protocol,
-        report.metrics,
-        sharded.metrics()
-    );
+    for pipelined in [true, false] {
+        let mut sharded = ShardedMachine::with_pool(config, shards, ShardPool::checking())
+            .expect("config validated by caller");
+        sharded.set_pipelined(pipelined);
+        feed(&mut sharded);
+        let engine = if pipelined { "pipelined" } else { "barrier" };
+        assert!(
+            report.metrics.replay_eq(&sharded.metrics()),
+            "{engine} sharded replay ({shards} shards) diverged from serial for {} on {}:\n\
+             serial:  {}\nsharded: {}",
+            report.workload,
+            report.protocol,
+            report.metrics,
+            sharded.metrics()
+        );
+    }
 }
 
 /// Replays one sweep cell: the captured stream `id` against `config`,

@@ -18,15 +18,20 @@
 //!    along node boundaries.
 //! 3. **Epochs (contained windows).** The executor scans the trace
 //!    forward, classifying each op against the monotone per-page *shard
-//!    footprint* (which shards have ever referenced the page) and the
-//!    page's home. An access is **contained** when its page's home lies
-//!    in the issuer's shard and its footprint is exactly the issuer's
-//!    shard: the entire walk — coherence actions included — then
-//!    provably touches only shard-local state, so ops of different
-//!    shards commute and each shard may execute its subsequence, in
-//!    order, on its own thread. The maximal contained prefix forms one
-//!    epoch; the first non-contained op ends it and executes serially
-//!    between epochs.
+//!    footprint* (which shards have ever referenced the page, and
+//!    whether any op has ever written it) and the page's home. An
+//!    access is **contained** when its page's home lies in the
+//!    issuer's shard and either its footprint is exactly the issuer's
+//!    shard, or it is a load of a page no op has ever stored to (the
+//!    read-shared relaxation — a never-written page has no owner and
+//!    no dirty copy anywhere): the entire walk — coherence actions
+//!    included — then provably touches only shard-local state, so ops
+//!    of different shards commute and each shard may execute its
+//!    subsequence, in order, on its own thread. The maximal contained
+//!    prefix forms one epoch; the first non-contained op ends it and
+//!    executes serially between epochs. The footprint/home directory
+//!    itself is banked finer than per-node (`RNUMA_DIR_SHARDS`,
+//!    [`dir_shard_of`]) — pure layout, never visible in results.
 //! 4. **Ordered cross-shard effects.** The one way a contained walk can
 //!    reach another shard is the posted write-back of an eviction victim
 //!    homed elsewhere. Its network cost is sender-side by construction
@@ -37,6 +42,16 @@
 //!    contained op can observe that directory state before the barrier
 //!    (any op that could is, by the footprint rule, not contained), so
 //!    deferral is exact.
+//! 5. **Pipelining.** While pool workers execute window N, the
+//!    coordinator scans window N+1 into a private overlay of the
+//!    footprint directory (the base is frozen under the workers'
+//!    `Arc` views), merging it bank-by-bank at the barrier — the scan
+//!    leaves the critical path. A fault recovery at the barrier
+//!    discards the in-flight overlay
+//!    ([`ShardStats::scans_invalidated`]) and re-scans exactly;
+//!    `RNUMA_PIPELINE=0` selects the plain barrier engine (scan,
+//!    execute, barrier, strictly in sequence), the differential
+//!    reference of `tests/pipelined_determinism.rs`.
 //!
 //! # The worker pool
 //!
@@ -66,6 +81,7 @@ use crate::machine::{Machine, ShardChunk};
 use crate::metrics::Metrics;
 use rnuma_mem::addr::{CpuId, NodeId, VPage, Va};
 use rnuma_mem::fxmap::FxMap;
+use rnuma_mem::paged::dir_shard_of;
 use rnuma_proto::effect::EffectMsg;
 use rnuma_sim::fault::{FaultKind, FaultLog, FaultPlan};
 use rnuma_sim::{Cycles, EpochClock};
@@ -305,36 +321,133 @@ pub struct ShardStats {
     /// Late replies from already-recovered (timed-out) jobs, discarded
     /// by job id at a later barrier.
     pub stale_replies: u64,
+    /// Scans of window N+1 overlapped with the pool's execution of
+    /// window N (the pipelined executor's whole point): the next
+    /// window's footprint/home classification was already done — into
+    /// the coordinator's overlay — when the barrier closed.
+    pub scans_prefetched: u64,
+    /// Prefetched scans discarded because a fault forced inline
+    /// re-execution at the same barrier: recovery deliberately
+    /// re-establishes the no-speculative-state invariant, so the
+    /// overlay is dropped wholesale and the window is re-scanned (the
+    /// re-scan is deterministic, so results are unaffected — this
+    /// counter is the only trace the discard leaves).
+    pub scans_invalidated: u64,
 }
 
-/// Footprint record of one page: which shards ever referenced it, and
-/// its (immutable once fixed) home.
+/// Footprint record of one page: which shards ever referenced it, its
+/// (immutable once fixed) home, and whether any scanned op has ever
+/// written it.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct PageInfo {
     shard_mask: u32,
     home: NodeId,
+    /// Monotone: set by the first scanned store to the page, never
+    /// cleared. While false, the page provably has no owner in any
+    /// directory (ownership requires a store) and no dirty copy
+    /// anywhere, which is what licenses the read-shared containment
+    /// relaxation in [`classify`].
+    written: bool,
 }
 
-/// The monotone per-page footprint/home table the window scan maintains.
+/// The monotone per-page footprint/home directory the window scan
+/// maintains, banked into `RNUMA_DIR_SHARDS` sub-shards by
+/// [`dir_shard_of`] — finer-grained than the per-node execution shards,
+/// so scan lookups, prefetch overlays, and overlay merges each work
+/// against small independent tables instead of one monolith.
+///
+/// Banking is layout only: which bank a page lives in never influences
+/// classification or simulation results (the pipelined determinism
+/// suite pins bit-identity across sub-shard counts).
 ///
 /// During a parallel window every worker holds a shared (`Arc`) view:
 /// homes are pre-resolved in trace order by the coordinator before the
 /// window starts, so lanes never race on the home table. Between
-/// windows the coordinator is the sole owner and updates it in place.
-#[derive(Clone, Debug, Default)]
+/// windows the coordinator is the sole owner and updates it in place;
+/// during a window the coordinator's prefetch scan writes to a
+/// separate overlay `Footprints` merged bank-by-bank at the barrier.
+#[derive(Clone, Debug)]
 pub(crate) struct Footprints {
-    pages: FxMap<VPage, PageInfo>,
+    banks: Vec<FxMap<VPage, PageInfo>>,
+}
+
+impl Default for Footprints {
+    fn default() -> Footprints {
+        Footprints::with_banks(1)
+    }
 }
 
 impl Footprints {
+    fn with_banks(banks: usize) -> Footprints {
+        Footprints {
+            banks: (0..banks.max(1)).map(|_| FxMap::new()).collect(),
+        }
+    }
+
+    fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    #[inline]
+    fn bank_of(&self, page: VPage) -> usize {
+        dir_shard_of(page, self.banks.len())
+    }
+
+    #[inline]
+    fn get(&self, page: VPage) -> Option<&PageInfo> {
+        self.banks[self.bank_of(page)].get(page)
+    }
+
+    #[inline]
+    fn get_mut(&mut self, page: VPage) -> Option<&mut PageInfo> {
+        let bank = self.bank_of(page);
+        self.banks[bank].get_mut(page)
+    }
+
+    #[inline]
+    fn insert(&mut self, page: VPage, info: PageInfo) {
+        let bank = self.bank_of(page);
+        self.banks[bank].insert(page, info);
+    }
+
     /// The pre-resolved home of `page`, if it was ever referenced.
     pub(crate) fn home_of(&self, page: VPage) -> Option<NodeId> {
-        self.pages.get(page).map(|info| info.home)
+        self.get(page).map(|info| info.home)
+    }
+
+    /// Discards every entry (bank structure is kept).
+    fn clear(&mut self) {
+        for bank in &mut self.banks {
+            bank.clear();
+        }
+    }
+
+    /// Moves every entry of `overlay` into `self`, bank by bank. An
+    /// overlay entry is authoritative: it was copied from the base (or
+    /// freshly resolved) and then updated, so it replaces the base's.
+    fn merge_from(&mut self, overlay: &mut Footprints) {
+        debug_assert_eq!(self.banks.len(), overlay.banks.len());
+        for (dst, src) in self.banks.iter_mut().zip(&mut overlay.banks) {
+            if src.is_empty() {
+                continue;
+            }
+            for (page, info) in src.iter() {
+                dst.insert(page, *info);
+            }
+            src.clear();
+        }
     }
 }
 
 /// Upper bound on shards (the footprint mask is a `u32`).
 pub const MAX_SHARDS: usize = 32;
+
+/// Upper bound on footprint-directory sub-shards (`RNUMA_DIR_SHARDS`).
+pub const MAX_DIR_SHARDS: usize = 256;
+
+/// Default footprint-directory sub-shard count when `RNUMA_DIR_SHARDS`
+/// is unset.
+pub const DEFAULT_DIR_SHARDS: usize = 8;
 
 /// Contained windows shorter than this run inline on the coordinator —
 /// pool handoff only pays off once a window amortizes the barrier cost.
@@ -761,6 +874,16 @@ pub struct ShardedMachine {
     /// Monotone per-page footprint + resolved home, maintained by the
     /// window scan; shared read-only with workers during windows.
     footprints: Arc<Footprints>,
+    /// Double buffer of the window scan: while workers execute window
+    /// N (holding `Arc` views of `footprints`), the coordinator scans
+    /// window N+1 into this coordinator-private overlay, merged into
+    /// the base bank-by-bank at the barrier — or discarded (and
+    /// counted) when a fault forces inline re-execution.
+    scan_overlay: Footprints,
+    /// Overlap the next window's scan with the current window's pool
+    /// execution (`RNUMA_PIPELINE`, default on). Off = the plain
+    /// barrier engine: scan, execute, barrier, strictly in sequence.
+    pipelined: bool,
     epochs: EpochClock,
     parallel_threshold: usize,
     pool: Arc<ShardPool>,
@@ -834,10 +957,13 @@ impl ShardedMachine {
             }
         }
         let (reply_tx, reply_rx) = mpsc::channel();
+        let dir_banks = dir_shards_from_env().unwrap_or(DEFAULT_DIR_SHARDS);
         Ok(ShardedMachine {
             machine,
             shard_of_node,
-            footprints: Arc::new(Footprints::default()),
+            footprints: Arc::new(Footprints::with_banks(dir_banks)),
+            scan_overlay: Footprints::with_banks(dir_banks),
+            pipelined: pipeline_from_env(),
             epochs: EpochClock::new(),
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             pool,
@@ -904,6 +1030,40 @@ impl ShardedMachine {
     /// and tests; the default suits production runs).
     pub fn set_parallel_threshold(&mut self, ops: usize) {
         self.parallel_threshold = ops.max(1);
+    }
+
+    /// Enables or disables pipelined window execution, replacing
+    /// whatever `RNUMA_PIPELINE` configured. `false` selects the plain
+    /// barrier engine (scan, execute, barrier, strictly in sequence) —
+    /// the reference the pipelined executor is differentially tested
+    /// against. Results are bit-identical either way; only scheduling
+    /// statistics and wall-clock differ.
+    pub fn set_pipelined(&mut self, on: bool) {
+        self.pipelined = on;
+    }
+
+    /// Whether pipelined window execution is selected.
+    #[must_use]
+    pub fn pipelined(&self) -> bool {
+        self.pipelined
+    }
+
+    /// Re-banks the footprint/home directory into `banks` sub-shards
+    /// (clamped to `1..=`[`MAX_DIR_SHARDS`]), replacing whatever
+    /// `RNUMA_DIR_SHARDS` configured, and resets the scan state. Call
+    /// before feeding any trace: banking is pure layout, so results
+    /// never depend on it, but the footprint accumulated so far is
+    /// discarded.
+    pub fn set_dir_shards(&mut self, banks: usize) {
+        let banks = banks.clamp(1, MAX_DIR_SHARDS);
+        self.footprints = Arc::new(Footprints::with_banks(banks));
+        self.scan_overlay = Footprints::with_banks(banks);
+    }
+
+    /// Sub-shard (bank) count of the footprint/home directory.
+    #[must_use]
+    pub fn dir_shards(&self) -> usize {
+        self.footprints.bank_count()
     }
 
     /// The underlying machine (read-only; diagnostics).
@@ -973,37 +1133,94 @@ impl ShardedMachine {
         }
         let cpus_per_node = self.machine.config().cpus_per_node;
         let mut cursor = 0usize;
+        // End of the window starting at `cursor` when the previous
+        // iteration's overlapped prefetch scan already classified it
+        // (and merged its footprint updates at the barrier).
+        let mut prefetched: Option<usize> = None;
         while cursor < ops.len() {
-            // Scan the maximal contained window. The coordinator is the
-            // sole owner of the footprint table between windows (workers
-            // dropped their views at the last barrier), so one make_mut
-            // per window — not per op — yields the in-place borrow the
-            // whole scan classifies against.
-            let mut end = cursor;
-            {
-                let footprints = Arc::make_mut(&mut self.footprints);
-                while end < ops.len()
-                    && classify(
-                        &ops[end],
-                        footprints,
-                        &mut self.machine,
-                        &self.shard_of_node,
-                        cpus_per_node,
-                    ) == Class::Contained
-                {
-                    end += 1;
-                }
-            }
-            self.exec_window(ops, cursor, end);
+            let end = match prefetched.take() {
+                Some(end) => end,
+                None => self.scan_window(ops, cursor, cpus_per_node),
+            };
+            // Execute the window; a pipelined parallel window scans
+            // the next one into the overlay while its workers run and
+            // returns that window's end (unless a fault invalidated
+            // the prefetch).
+            prefetched = self.exec_window(ops, cursor, end, cpus_per_node);
+            debug_assert!(prefetched.is_none() || end < ops.len());
             // Execute the blocking op (if any) serially on the whole
             // machine, then start the next epoch.
             if end < ops.len() {
                 self.exec_blocking(&ops[end]);
-                end += 1;
+                cursor = end + 1;
+            } else {
+                cursor = end;
             }
-            cursor = end;
             self.epochs.advance();
         }
+    }
+
+    /// Scans the maximal contained window starting at `cursor`,
+    /// updating the footprint directory in place. The coordinator is
+    /// the sole owner of the table between windows (workers dropped
+    /// their views at the last barrier), so one make_mut per window —
+    /// not per op — yields the in-place borrow the whole scan
+    /// classifies against.
+    fn scan_window(&mut self, ops: &[TraceOp], cursor: usize, cpus_per_node: u16) -> usize {
+        let mut end = cursor;
+        let mut target = ScanTarget::Base(Arc::make_mut(&mut self.footprints));
+        while end < ops.len()
+            && classify(
+                &ops[end],
+                &mut target,
+                &mut self.machine,
+                &self.shard_of_node,
+                cpus_per_node,
+            ) == Class::Contained
+        {
+            end += 1;
+        }
+        end
+    }
+
+    /// The overlapped half of the pipeline: scans the window *after*
+    /// the blocking op at `blocking` while pool workers are still
+    /// executing the current window, writing every footprint update to
+    /// the coordinator-private overlay (workers hold frozen `Arc`
+    /// views of the base, which must not move under them). Returns the
+    /// prefetched window's end.
+    ///
+    /// Scanning past the not-yet-executed blocking op is exact:
+    /// classification depends only on the footprint directory, the
+    /// page manager's home table, and the first-touch arming flag.
+    /// A `Barrier` touches none of those; a blocking `Access`'s page
+    /// was already footprinted and homed when it was classified; and
+    /// `ArmFirstTouch`'s one scan-visible effect — the arming flag —
+    /// is monotone and idempotent, so it is applied here, early (the
+    /// serial re-arm at `exec_blocking` is then a no-op). Early arming
+    /// cannot perturb the in-flight window: its workers resolve homes
+    /// through the frozen footprint view, never the page manager.
+    fn prefetch_scan(&mut self, ops: &[TraceOp], blocking: usize, cpus_per_node: u16) -> usize {
+        if matches!(ops[blocking], TraceOp::ArmFirstTouch) {
+            self.machine.pages_mut().arm_first_touch();
+        }
+        let mut end = blocking + 1;
+        let mut target = ScanTarget::Overlay {
+            base: &self.footprints,
+            overlay: &mut self.scan_overlay,
+        };
+        while end < ops.len()
+            && classify(
+                &ops[end],
+                &mut target,
+                &mut self.machine,
+                &self.shard_of_node,
+                cpus_per_node,
+            ) == Class::Contained
+        {
+            end += 1;
+        }
+        end
     }
 
     /// Shard of the node `cpu` lives on.
@@ -1017,15 +1234,28 @@ impl ShardedMachine {
     /// cross-shard effects replayed in canonical order at the closing
     /// barrier. (Single-shard and worker-less executions never reach
     /// here — `run_ops` bypasses the scan entirely.)
-    fn exec_window(&mut self, ops: &[TraceOp], start: usize, end: usize) {
+    ///
+    /// On the pipelined parallel path the coordinator scans the *next*
+    /// window into the overlay while workers execute this one, and
+    /// returns that window's end — `None` when nothing was prefetched,
+    /// or when a fault recovery at the barrier invalidated the
+    /// prefetch (overlay discarded, `scans_invalidated` bumped; the
+    /// caller re-scans deterministically).
+    fn exec_window(
+        &mut self,
+        ops: &[TraceOp],
+        start: usize,
+        end: usize,
+        cpus_per_node: u16,
+    ) -> Option<usize> {
         if start == end {
-            return;
+            return None;
         }
         self.stats.windows += 1;
         self.stats.contained_ops += (end - start) as u64;
         if end - start < self.parallel_threshold {
             self.machine.apply_batch(&ops[start..end]);
-            return;
+            return None;
         }
         self.stats.parallel_windows += 1;
 
@@ -1140,6 +1370,17 @@ impl ShardedMachine {
             lane.run_batch(&bucket.ops, &bucket.runs);
         }
 
+        // The pipeline's overlap: with workers still executing their
+        // buckets, scan the next window into the overlay. Only worth
+        // anything when jobs are actually in flight — otherwise the
+        // scan would run now or at the next iteration all the same.
+        let mut prefetched = None;
+        if self.pipelined && end < ops.len() && !pending.is_empty() {
+            prefetched = Some(self.prefetch_scan(ops, end, cpus_per_node));
+            self.stats.scans_prefetched += 1;
+        }
+        let mut recovered = false;
+
         // Epoch barrier: every chunk comes home — from its worker, or
         // re-executed from its pre-dispatch snapshot when the worker
         // panicked or the watchdog fired — then buffered cross-shard
@@ -1160,6 +1401,7 @@ impl ShardedMachine {
                         for p in std::mem::take(&mut pending) {
                             self.recover_window(p, &cfg, epoch, &PoolError::DeadlineElapsed(ms));
                         }
+                        recovered = true;
                         break;
                     }
                     Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -1184,6 +1426,7 @@ impl ShardedMachine {
                     // recover the window exactly.
                     self.pool.respawn_worker();
                     self.recover_window(p, &cfg, epoch, &PoolError::WorkerPanicked(payload));
+                    recovered = true;
                 }
             }
         }
@@ -1203,6 +1446,29 @@ impl ShardedMachine {
         for msg in effects.drain(..) {
             self.machine.dir_mut(msg.key.home).apply(msg.effect);
         }
+
+        // Resolve the prefetched scan against what the barrier saw.
+        // Fault recovery re-executed buckets inline; the recovery
+        // invariant is deliberately conservative — no speculative scan
+        // state survives a recovered window — so the overlay is
+        // discarded and the caller re-scans. The re-scan is exact:
+        // every overlay mutation was coordinator-private, and home
+        // resolution is idempotent (a re-touched page keeps its fixed
+        // home), so the re-scan reproduces the discarded window
+        // verbatim. On the undisturbed path the overlay merges into
+        // the base — the coordinator is sole owner again, every worker
+        // dropped its `Arc` view before replying — and the prefetched
+        // window dispatches without ever re-reading those ops.
+        if prefetched.is_some() {
+            if recovered {
+                prefetched = None;
+                self.scan_overlay.clear();
+                self.stats.scans_invalidated += 1;
+            } else {
+                Arc::make_mut(&mut self.footprints).merge_from(&mut self.scan_overlay);
+            }
+        }
+        prefetched
     }
 
     /// Exact recovery of one dispatched window job: re-executes its
@@ -1254,6 +1520,78 @@ impl ShardedMachine {
     }
 }
 
+/// Where a window scan writes its footprint updates.
+///
+/// Between windows the coordinator owns the base table and mutates it
+/// in place. During a pipelined window the base is frozen under the
+/// workers' `Arc` views, so the overlapped prefetch scan copies each
+/// touched entry into the coordinator-private overlay on first touch
+/// and updates it there (reads resolve overlay-first); the overlay
+/// merges back — or is discarded wholesale on fault recovery — at the
+/// barrier.
+enum ScanTarget<'a> {
+    /// Sole-owner scan between windows: mutate the base in place.
+    Base(&'a mut Footprints),
+    /// Overlapped prefetch scan: base frozen, updates to the overlay.
+    Overlay {
+        base: &'a Footprints,
+        overlay: &'a mut Footprints,
+    },
+}
+
+impl ScanTarget<'_> {
+    /// Reads, updates, and returns `page`'s footprint entry, creating
+    /// it (home resolved through `resolve`) on the page's first-ever
+    /// reference.
+    fn update(
+        &mut self,
+        page: VPage,
+        bit: u32,
+        write: bool,
+        resolve: impl FnOnce() -> NodeId,
+    ) -> PageInfo {
+        let fresh = |home| PageInfo {
+            shard_mask: bit,
+            home,
+            written: write,
+        };
+        match self {
+            ScanTarget::Base(fp) => {
+                if let Some(info) = fp.get_mut(page) {
+                    info.shard_mask |= bit;
+                    info.written |= write;
+                    *info
+                } else {
+                    let info = fresh(resolve());
+                    fp.insert(page, info);
+                    info
+                }
+            }
+            ScanTarget::Overlay { base, overlay } => {
+                if let Some(info) = overlay.get_mut(page) {
+                    info.shard_mask |= bit;
+                    info.written |= write;
+                    *info
+                } else {
+                    // Copy-on-first-touch from the frozen base, or a
+                    // brand-new page; either way the authoritative
+                    // entry now lives in the overlay.
+                    let info = match base.get(page) {
+                        Some(seen) => PageInfo {
+                            shard_mask: seen.shard_mask | bit,
+                            home: seen.home,
+                            written: seen.written || write,
+                        },
+                        None => fresh(resolve()),
+                    };
+                    overlay.insert(page, info);
+                    info
+                }
+            }
+        }
+    }
+}
+
 /// Classifies one op, updating the page footprint and pre-resolving
 /// the page's home exactly as the serial fault would. A free function
 /// over the executor's split-borrowed fields so the scan loop holds
@@ -1262,12 +1600,30 @@ impl ShardedMachine {
 /// The home resolution is sound to run at scan time: a page's first
 /// trace reference is necessarily its first machine-wide fault (an
 /// unhomed page cannot be mapped — or cached — anywhere), the scan
-/// visits references in trace order, and the scan never runs past a
-/// blocking op, so it cannot observe a not-yet-executed
-/// `ArmFirstTouch`.
+/// visits references in trace order, and a scan only runs past a
+/// blocking op after that op's sole scan-visible effect — first-touch
+/// arming — has been applied (see
+/// [`ShardedMachine::prefetch_scan`]).
+///
+/// An access is contained when its page's home lies in the issuer's
+/// shard **and** either
+///
+/// * the page's footprint is exactly the issuer's shard (the strict
+///   rule: the walk owns every copy of the page), or
+/// * the access is a load of a page no scanned op has ever stored to
+///   (the read-shared relaxation): a never-written page has no owner
+///   in any directory and no dirty copy anywhere, so the walk touches
+///   only the issuer's own caches and the in-shard home's state — a
+///   local read with no foreign owner performs no directory transition
+///   at all, a remote-within-shard fetch charges the in-shard home's
+///   resources and adds a sharer bit there, and foreign shards'
+///   contained ops can observe neither. Earlier cross-shard readers
+///   of the page all executed serially before this window (they were
+///   blocking for their own shards), so the frozen state the walk
+///   observes equals the serial execution's.
 fn classify(
     op: &TraceOp,
-    footprints: &mut Footprints,
+    target: &mut ScanTarget<'_>,
     machine: &mut Machine,
     shard_of_node: &[u8],
     cpus_per_node: u16,
@@ -1275,25 +1631,18 @@ fn classify(
     match *op {
         TraceOp::Think { .. } => Class::Contained,
         TraceOp::Barrier | TraceOp::ArmFirstTouch => Class::Blocking,
-        TraceOp::Access { cpu, va, .. } => {
+        TraceOp::Access { cpu, va, write } => {
             let node = (cpu.0 / cpus_per_node) as usize;
             let shard = shard_of_node[node] as usize;
             let bit = 1u32 << shard;
             let page = va.vpage();
-            let info = if let Some(info) = footprints.pages.get_mut(page) {
-                info.shard_mask |= bit;
-                *info
-            } else {
-                let home = machine.pages_mut().home_on_touch(page, NodeId(node as u8));
-                let info = PageInfo {
-                    shard_mask: bit,
-                    home,
-                };
-                footprints.pages.insert(page, info);
-                info
-            };
+            let info = target.update(page, bit, write, || {
+                machine.pages_mut().home_on_touch(page, NodeId(node as u8))
+            });
             let home_shard = shard_of_node[info.home.0 as usize] as usize;
-            if info.shard_mask == bit && home_shard == shard {
+            let exclusive = info.shard_mask == bit;
+            let read_shared = !write && !info.written;
+            if home_shard == shard && (exclusive || read_shared) {
                 Class::Contained
             } else {
                 Class::Blocking
@@ -1350,6 +1699,63 @@ pub fn window_deadline_from_env() -> Option<u64> {
                 );
             });
             None
+        }
+    }
+}
+
+/// The footprint-directory sub-shard count requested via
+/// `RNUMA_DIR_SHARDS`, if any.
+///
+/// Unset means "use the default" ([`DEFAULT_DIR_SHARDS`]). Banking is
+/// pure layout — any count produces bit-identical results — so a value
+/// that is set but not usable (`0` or unparsable) is a
+/// misconfiguration: a warning is printed to stderr (once per process)
+/// and the default applies, mirroring `RNUMA_SHARDS` semantics. Counts
+/// above [`MAX_DIR_SHARDS`] clamp down.
+#[must_use]
+pub fn dir_shards_from_env() -> Option<usize> {
+    let raw = std::env::var("RNUMA_DIR_SHARDS").ok()?;
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n.min(MAX_DIR_SHARDS)),
+        _ => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "rnuma: RNUMA_DIR_SHARDS={raw:?} is not a sub-shard count \
+                     (want 1..={MAX_DIR_SHARDS}); using the default of \
+                     {DEFAULT_DIR_SHARDS}"
+                );
+            });
+            None
+        }
+    }
+}
+
+/// Whether `RNUMA_PIPELINE` enables pipelined window execution
+/// (default: on).
+///
+/// `0`, `off`, and `false` select the plain barrier engine — the
+/// differential reference, and an A/B lever for benchmarks. `1`, `on`,
+/// and `true` select the pipeline explicitly. Anything else is a
+/// misconfiguration: a warning is printed to stderr (once per process)
+/// and the default (pipelined) applies.
+#[must_use]
+pub fn pipeline_from_env() -> bool {
+    let Ok(raw) = std::env::var("RNUMA_PIPELINE") else {
+        return true;
+    };
+    match raw.as_str() {
+        "0" | "off" | "false" => false,
+        "1" | "on" | "true" => true,
+        _ => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "rnuma: RNUMA_PIPELINE={raw:?} is not a switch \
+                     (want 0/off/false or 1/on/true); pipelining stays on"
+                );
+            });
+            true
         }
     }
 }
@@ -1907,5 +2313,130 @@ mod tests {
         // Tracing is off after take_trace.
         m.access(CpuId(0), Va(0x1000), false);
         assert!(m.take_trace().is_empty());
+    }
+
+    /// The read-shared relaxation: loads of a never-written page stay
+    /// contained for the home shard even after foreign shards read it
+    /// — and revert to blocking the moment any op stores to the page.
+    /// Exact op-by-op accounting, plus bit-identity to serial.
+    #[test]
+    fn read_shared_pages_relax_containment_until_first_write() {
+        let p = Va(1 << 20); // first-touched by CPU 0 -> homed in shard 0
+        let read = |cpu: u16| TraceOp::Access {
+            cpu: CpuId(cpu),
+            va: p,
+            write: false,
+        };
+        let mut ops = vec![TraceOp::ArmFirstTouch];
+        ops.push(read(0)); // exclusive: contained
+        ops.push(read(28)); // shard 3 reads a shard-0 page: blocking
+        for i in 0..100u16 {
+            ops.push(read(i % 8)); // shard 0 re-reads: relaxed-contained
+        }
+        ops.push(TraceOp::Access {
+            cpu: CpuId(0),
+            va: p,
+            write: true,
+        }); // first store: blocking (footprint spans shards)
+        for _ in 0..10 {
+            ops.push(read(0)); // written page, shared footprint: blocking
+        }
+        let serial = serial_replay_on(config(), &ops);
+        let mut sm = ShardedMachine::with_pool(config(), 4, test_pool()).unwrap();
+        sm.set_parallel_threshold(1);
+        sm.run_trace(&ops);
+        assert!(serial.replay_eq(&sm.metrics()));
+        let stats = sm.stats();
+        assert_eq!(
+            stats.contained_ops, 101,
+            "the 100 home-shard re-reads (plus the first touch) must be \
+             contained: {stats:?}"
+        );
+        assert_eq!(
+            stats.serialized_ops, 13,
+            "arm + foreign read + store + 10 post-store reads serialize: {stats:?}"
+        );
+    }
+
+    /// The pipelined engine overlaps next-window scans with pool
+    /// execution (`scans_prefetched`), the barrier engine never does,
+    /// and both are bit-identical to serial on a fan-out-heavy trace.
+    #[test]
+    fn pipelined_and_barrier_engines_agree_bit_identically() {
+        let ops = mixed_trace(128, 16);
+        let serial = serial_replay_on(config(), &ops);
+
+        let mut pipelined = ShardedMachine::with_pool(config(), 4, test_pool()).unwrap();
+        pipelined.set_parallel_threshold(32);
+        pipelined.set_pipelined(true);
+        pipelined.run_trace(&ops);
+        assert!(serial.replay_eq(&pipelined.metrics()));
+        assert!(
+            pipelined.stats().scans_prefetched > 0,
+            "pipelined engine never overlapped a scan: {:?}",
+            pipelined.stats()
+        );
+        assert_eq!(pipelined.stats().scans_invalidated, 0);
+
+        let mut barrier = ShardedMachine::with_pool(config(), 4, test_pool()).unwrap();
+        barrier.set_parallel_threshold(32);
+        barrier.set_pipelined(false);
+        barrier.run_trace(&ops);
+        assert!(serial.replay_eq(&barrier.metrics()));
+        assert_eq!(
+            barrier.stats().scans_prefetched,
+            0,
+            "barrier engine must never prefetch: {:?}",
+            barrier.stats()
+        );
+    }
+
+    /// Footprint-directory banking is pure layout: every sub-shard
+    /// count yields bit-identical metrics *and* identical scheduling
+    /// statistics (same windows, same containment, same fan-out).
+    #[test]
+    fn dir_shard_banking_is_pure_layout() {
+        let ops = mixed_trace(96, 8);
+        let serial = serial_replay_on(config(), &ops);
+        let mut reference: Option<ShardStats> = None;
+        for banks in [1usize, 3, 8] {
+            let mut sm = ShardedMachine::with_pool(config(), 4, test_pool()).unwrap();
+            sm.set_parallel_threshold(32);
+            sm.set_dir_shards(banks);
+            assert_eq!(sm.dir_shards(), banks);
+            sm.run_trace(&ops);
+            assert!(
+                serial.replay_eq(&sm.metrics()),
+                "{banks} banks diverged from serial"
+            );
+            let stats = sm.stats();
+            match &reference {
+                None => reference = Some(stats),
+                Some(first) => {
+                    assert_eq!(*first, stats, "banking changed scheduling at {banks} banks")
+                }
+            }
+        }
+    }
+
+    /// A worker fault detected at a barrier with a prefetched scan in
+    /// flight discards the overlay (`scans_invalidated`), re-scans,
+    /// and still replays bit-identically.
+    #[test]
+    fn fault_recovery_invalidates_inflight_prefetch() {
+        let ops = mixed_trace(64, 8);
+        let serial = serial_replay_on(config(), &ops);
+        let mut sm = ShardedMachine::with_pool(config(), 4, test_pool()).unwrap();
+        sm.set_parallel_threshold(1);
+        sm.set_fault_plan(Some(FaultPlan::parse("panic_before@0,seed=5").unwrap()));
+        sm.run_trace(&ops);
+        assert!(serial.replay_eq(&sm.metrics()));
+        let stats = sm.stats();
+        assert!(stats.recovered_jobs >= 1, "fault never fired: {stats:?}");
+        assert!(
+            stats.scans_invalidated >= 1,
+            "recovery must discard the in-flight prefetch: {stats:?}"
+        );
+        assert!(stats.scans_prefetched > stats.scans_invalidated);
     }
 }

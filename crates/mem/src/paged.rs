@@ -186,9 +186,66 @@ impl<V: Default> PagedMap<V> {
     }
 }
 
+/// Assigns `page` to one of `shards` fine-grained directory sub-shards.
+///
+/// This is the *layout* hash of the sharded executor's footprint/home
+/// directory: the coordinator banks its per-page scan state into
+/// `shards` independent tables (`RNUMA_DIR_SHARDS`), and every lookup,
+/// overlay merge, and diagnostic groups pages by this function. It is a
+/// pure placement decision — simulation results never depend on it —
+/// so the contract is purely structural:
+///
+/// * **total**: every page maps to a bank in `0..shards` (for
+///   `shards <= 1`, always bank 0);
+/// * **stable**: a pure function of `(page, shards)` — the same page
+///   lands in the same bank on every call, in every process;
+/// * **page-granular**: derived from the page number alone, so all
+///   blocks and byte addresses within one page agree.
+///
+/// The definition is fixed (SplitMix64's finalizer over the page
+/// number, reduced modulo `shards`) and mirrored by the reference
+/// model in `crates/mem/tests/properties.rs`; changing it is safe for
+/// correctness but invalidates any bank-keyed diagnostics captured
+/// across versions.
+#[must_use]
+#[inline]
+pub fn dir_shard_of(page: VPage, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut x = page.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dir_shard_assignment_is_total_and_stable() {
+        for shards in [0usize, 1, 2, 3, 8, 64] {
+            for p in (0u64..4096).chain([u64::MAX, u64::MAX - 4095]) {
+                let bank = dir_shard_of(VPage(p), shards);
+                assert!(bank < shards.max(1), "page {p} escaped {shards} banks");
+                assert_eq!(bank, dir_shard_of(VPage(p), shards), "unstable for {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn dir_shard_assignment_spreads_pages() {
+        // Not a statistical guarantee — just a tripwire against a
+        // degenerate constant hash: 4096 consecutive pages across 8
+        // banks must populate every bank.
+        let mut seen = [0usize; 8];
+        for p in 0..4096u64 {
+            seen[dir_shard_of(VPage(p), 8)] += 1;
+        }
+        assert!(seen.iter().all(|&n| n > 0), "empty bank: {seen:?}");
+    }
 
     #[test]
     fn absent_blocks_read_none() {

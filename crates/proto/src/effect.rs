@@ -14,10 +14,22 @@
 //! the epoch barrier the coordinator sorts all shards' buffers by the
 //! canonical [`EffectKey`] order `(epoch, home node, sequence number)`
 //! and applies them with [`Directory::apply`]. Because a page whose
-//! footprint spans shards is never executed inside a contained window,
-//! nothing reads the deferred state before the barrier, so the replay
-//! reproduces the serial execution's directory bit-for-bit (see
-//! `docs/DETERMINISM.md`).
+//! footprint spans shards — or has ever been written, under the
+//! executor's read-shared relaxation — is never executed inside a
+//! contained window, nothing reads the deferred state before the
+//! barrier, so the replay reproduces the serial execution's directory
+//! bit-for-bit (see `docs/DETERMINISM.md`).
+//!
+//! **Keys stay exact under the pipelined executor.** Overlapping the
+//! next window's *scan* with the current window's execution produces
+//! no effects: only execution emits them, effect buffers still drain
+//! at their own window's barrier (every batch holds exactly one
+//! epoch), and `seq` is assigned at bucketing time from the op's
+//! global trace position — which the prefetched scan reads from the
+//! trace, not from any clock that could drift under overlap. A
+//! prefetched scan that is invalidated by fault recovery is discarded
+//! before it ever reaches bucketing, so no key from a speculative scan
+//! can be emitted at all.
 
 use crate::directory::Directory;
 use rnuma_mem::addr::{NodeId, VBlock};
@@ -95,6 +107,26 @@ mod tests {
             keys,
             vec![k(0, 1, 2), k(0, 1, 7), k(0, 3, 1), k(0, 3, 5), k(1, 0, 9)]
         );
+    }
+
+    /// Epoch is the key's major component: effects of consecutive
+    /// windows never interleave, no matter how `home`/`seq` compare —
+    /// the invariant that makes per-window barrier draining and the
+    /// pipelined executor's overlapped scans composable (a window's
+    /// batch sorts identically whether or not the next window's scan
+    /// already ran).
+    #[test]
+    fn epochs_never_interleave_in_canonical_order() {
+        let k = |epoch, home, seq| EffectKey {
+            epoch,
+            home: NodeId(home),
+            seq,
+        };
+        // Later epoch, but smaller home and seq everywhere.
+        let mut keys = vec![k(7, 0, 0), k(6, 31, u64::MAX), k(6, 0, 3)];
+        keys.sort_unstable();
+        assert_eq!(keys, vec![k(6, 0, 3), k(6, 31, u64::MAX), k(7, 0, 0)]);
+        assert!(keys.windows(2).all(|w| w[0].epoch <= w[1].epoch));
     }
 
     #[test]

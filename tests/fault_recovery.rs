@@ -157,6 +157,106 @@ fn pool_survives_worker_death_for_later_runs() {
     assert!(ShardPool::checking().workers() >= 1);
 }
 
+/// Pipelined drill: a worker panic that lands while the next window's
+/// scan is already prefetched forces the coordinator to discard the
+/// speculative overlay (`scans_invalidated`), re-scan, and still finish
+/// bit-identical — on every figure-grid configuration.
+#[test]
+fn pipelined_panic_discards_inflight_prefetch() {
+    let configs = support::figure_configs();
+    let trace = trace_on(configs[0]);
+    let mut store = TraceStore::new();
+    let id = store.insert("em3d", configs[0], &trace);
+    for &config in &configs {
+        let reference = store.replay_serial(id, config);
+        for spec in ["panic_before@0,seed=5", "panic_after@0,seed=5"] {
+            let plan = FaultPlan::parse(spec).expect("specs above are well-formed");
+            let mut sharded = forced_sharded(config, Arc::new(ShardPool::new(2)));
+            sharded.set_pipelined(true);
+            sharded.set_fault_plan(Some(plan));
+            sharded.run_trace(&trace);
+            assert!(
+                reference.metrics.replay_eq(&sharded.metrics()),
+                "pipelined metrics diverged under plan {spec:?} on {}",
+                config.protocol
+            );
+            let stats = sharded.stats();
+            assert!(stats.recovered_jobs >= 1, "plan {spec:?} never recovered");
+            assert!(
+                stats.scans_invalidated >= 1,
+                "recovery under {spec:?} left a speculative scan alive"
+            );
+            assert!(
+                stats.scans_prefetched > stats.scans_invalidated,
+                "every prefetched scan was discarded under {spec:?} — \
+                 the fault-free tail of the run should have kept some"
+            );
+        }
+    }
+}
+
+/// Pipelined drill: a hang absorbed by the window watchdog also
+/// invalidates the in-flight prefetched scan — the recovery path is
+/// identical whether the fault surfaced as a panic or a timeout.
+#[test]
+fn pipelined_hang_invalidates_prefetch_via_watchdog() {
+    let configs = support::figure_configs();
+    let trace = trace_on(configs[0]);
+    let mut store = TraceStore::new();
+    let id = store.insert("em3d", configs[0], &trace);
+    let config = configs[3]; // R-NUMA
+    let reference = store.replay_serial(id, config);
+
+    let plan = FaultPlan::parse("hang@0,hang_ms=200,seed=3").unwrap();
+    let mut sharded = forced_sharded(config, Arc::new(ShardPool::new(2)));
+    sharded.set_pipelined(true);
+    sharded.set_fault_plan(Some(plan));
+    sharded.set_window_deadline_ms(Some(20));
+    sharded.run_trace(&trace);
+    assert!(
+        reference.metrics.replay_eq(&sharded.metrics()),
+        "pipelined metrics diverged after watchdog recovery"
+    );
+    let stats = sharded.stats();
+    assert!(sharded.fault_log().count(FaultKind::Hang) >= 1);
+    assert!(stats.recovered_jobs >= 1);
+    assert!(
+        stats.scans_invalidated >= 1,
+        "watchdog recovery left a speculative scan alive"
+    );
+}
+
+/// Pipelined drill: a poisoned queue never leaves speculative state
+/// behind — poison fires at submission, before any job is in flight,
+/// so no scan is ever prefetched (prefetching only overlaps real pool
+/// work) and nothing needs invalidating. Degraded inline, bit-identical.
+#[test]
+fn pipelined_poison_never_speculates() {
+    let configs = support::figure_configs();
+    let trace = trace_on(configs[0]);
+    let mut store = TraceStore::new();
+    let id = store.insert("em3d", configs[0], &trace);
+    let config = configs[1]; // CC-NUMA
+    let reference = store.replay_serial(id, config);
+
+    let plan = FaultPlan::parse("poison@0,seed=1").unwrap();
+    let mut sharded = forced_sharded(config, Arc::new(ShardPool::new(2)));
+    sharded.set_pipelined(true);
+    sharded.set_fault_plan(Some(plan));
+    sharded.run_trace(&trace);
+    assert!(
+        reference.metrics.replay_eq(&sharded.metrics()),
+        "pipelined metrics diverged after inline fallback"
+    );
+    let stats = sharded.stats();
+    assert!(stats.inline_fallbacks >= 1);
+    assert_eq!(
+        stats.scans_prefetched, 0,
+        "a scan was prefetched with no pool work in flight"
+    );
+    assert_eq!(stats.scans_invalidated, 0);
+}
+
 /// Capture-time allocation pressure downgrades trace interning to
 /// verbatim storage — more resident ops, identical replay results.
 #[test]

@@ -1,0 +1,222 @@
+//! The cross-engine differential suite pinning the pipelined executor:
+//! the pipelined engine (scan of window N+1 overlapped with execution
+//! of window N), the barrier-sharded engine (`RNUMA_PIPELINE=0`
+//! semantics), and the serial machine must agree bit-for-bit across
+//! the paper's figure grid and on adversarial random reference
+//! streams — at every shard count and every directory sub-shard
+//! (bank) count. Directory banking (`RNUMA_DIR_SHARDS`) is pure
+//! layout and must never be visible in results.
+//!
+//! See `docs/DETERMINISM.md` for the execution model these tests
+//! enforce.
+
+use proptest::prelude::*;
+use rnuma::config::{MachineConfig, Protocol};
+use rnuma::experiment::run_traced;
+use rnuma::shard::{ShardedMachine, TraceOp};
+use rnuma::Machine;
+use rnuma_mem::addr::{CpuId, Va};
+use rnuma_workloads::{by_name, Scale, APP_NAMES};
+
+#[path = "support.rs"]
+mod support;
+use support::{figure_protocols, forced_pool};
+
+/// Replays `trace` on both engines at each `(shards, banks)` point and
+/// asserts bit-identity with the serial reference, plus the engines'
+/// own invariants: the barrier engine never prefetches a scan, and a
+/// fault-free pipelined run never invalidates one.
+fn assert_engines_match_serial(
+    label: &str,
+    config: MachineConfig,
+    reference: &rnuma::metrics::Metrics,
+    trace: &[TraceOp],
+    shard_counts: &[usize],
+    bank_counts: &[usize],
+) {
+    for &shards in shard_counts {
+        for &banks in bank_counts {
+            for pipelined in [true, false] {
+                let mut sm =
+                    ShardedMachine::with_pool(config, shards, forced_pool()).expect("valid config");
+                sm.set_parallel_threshold(64);
+                sm.set_dir_shards(banks);
+                sm.set_pipelined(pipelined);
+                sm.run_trace(trace);
+                let engine = if pipelined { "pipelined" } else { "barrier" };
+                assert!(
+                    reference.replay_eq(&sm.metrics()),
+                    "{label}: {engine} engine diverged at {shards} shards, {banks} banks\n\
+                     serial: {}\nengine: {}",
+                    reference,
+                    sm.metrics()
+                );
+                let stats = sm.stats();
+                if pipelined {
+                    assert_eq!(
+                        stats.scans_invalidated, 0,
+                        "{label}: fault-free pipelined run discarded a scan"
+                    );
+                } else {
+                    assert_eq!(
+                        stats.scans_prefetched, 0,
+                        "{label}: barrier engine prefetched a scan"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The full figure grid: every Table-3 application on every finite
+/// protocol, pipelined vs. barrier vs. serial at 2 and 4 shards,
+/// bit-identical. Banking stays at the default here; the bank axis
+/// gets its own sweep below.
+#[test]
+fn every_app_and_protocol_is_engine_agnostic() {
+    let [_, finite @ ..] = figure_protocols();
+    for app in APP_NAMES {
+        for protocol in finite {
+            let config = MachineConfig::paper_base(protocol);
+            let mut w = by_name(app, Scale::Tiny).expect("known app");
+            let (report, trace) = run_traced(config, &mut w);
+            assert_engines_match_serial(
+                &format!("{app} on {protocol}"),
+                config,
+                &report.metrics,
+                &trace,
+                &[2, 4],
+                &[rnuma::shard::DEFAULT_DIR_SHARDS],
+            );
+        }
+    }
+}
+
+/// Directory banking is pure layout: sweeping the sub-shard count
+/// across {1, 3, 8} on both engines changes nothing observable,
+/// including the ideal (infinite block cache) baseline every figure
+/// normalizes to.
+#[test]
+fn directory_banking_is_invisible_across_engines() {
+    let [ideal, _, _, rnuma_proto] = figure_protocols();
+    for protocol in [ideal, rnuma_proto] {
+        for app in ["em3d", "ocean"] {
+            let config = MachineConfig::paper_base(protocol);
+            let mut w = by_name(app, Scale::Tiny).expect("known app");
+            let (report, trace) = run_traced(config, &mut w);
+            assert_engines_match_serial(
+                &format!("{app} on {protocol}"),
+                config,
+                &report.metrics,
+                &trace,
+                &[1, 4],
+                &[1, 3, 8],
+            );
+        }
+    }
+}
+
+/// The pipelined engine actually pipelines on the figure grid: a
+/// multi-window trace must report prefetched scans, and stats other
+/// than the scan counters must match the barrier engine exactly (the
+/// two engines do the same work, in the same windows).
+#[test]
+fn pipelined_engine_overlaps_and_matches_barrier_stats() {
+    let config = MachineConfig::paper_base(Protocol::paper_rnuma());
+    let mut w = by_name("em3d", Scale::Tiny).expect("known app");
+    let (_, trace) = run_traced(config, &mut w);
+
+    let run = |pipelined: bool| {
+        let mut sm = ShardedMachine::with_pool(config, 4, forced_pool()).expect("valid config");
+        sm.set_parallel_threshold(64);
+        sm.set_pipelined(pipelined);
+        sm.run_trace(&trace);
+        sm.stats()
+    };
+    let piped = run(true);
+    let barrier = run(false);
+
+    assert!(piped.scans_prefetched > 0, "no scan was ever overlapped");
+    assert_eq!(piped.scans_invalidated, 0);
+    assert_eq!(piped.windows, barrier.windows);
+    assert_eq!(piped.contained_ops, barrier.contained_ops);
+    assert_eq!(piped.serialized_ops, barrier.serialized_ops);
+    assert_eq!(piped.parallel_windows, barrier.parallel_windows);
+}
+
+fn arb_protocol() -> impl Strategy<Value = Protocol> {
+    prop_oneof![
+        Just(Protocol::paper_ccnuma()),
+        Just(Protocol::paper_scoma()),
+        Just(Protocol::paper_rnuma()),
+        // Small caches force evictions, relocations, and cross-shard
+        // write-backs — the executor's hardest paths.
+        Just(Protocol::CcNuma {
+            block_cache_bytes: Some(256),
+        }),
+        Just(Protocol::SComa {
+            page_cache_bytes: 4 * 4096,
+        }),
+        Just(Protocol::RNuma {
+            block_cache_bytes: 128,
+            page_cache_bytes: 4 * 4096,
+            threshold: 2,
+        }),
+    ]
+}
+
+proptest! {
+    // 1/2/4 shards x {1,3,8} banks x both engines is 18 replays per
+    // case; trimmed case count keeps the suite's wall-clock in line
+    // with the barrier-only suite while still crossing every axis.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Randomized reference streams — random CPUs, a small shared page
+    /// pool (heavy cross-shard traffic), random read/write mix,
+    /// barriers — replay identically on both engines at 1, 2, and 4
+    /// shards under 1, 3, and 8 directory banks, on every protocol.
+    #[test]
+    fn random_streams_are_engine_and_bank_agnostic(
+        protocol in arb_protocol(),
+        stream in prop::collection::vec(
+            (0u16..32, 0u64..24, 0u64..128, 0u32..8),
+            1..300,
+        ),
+    ) {
+        let config = MachineConfig::paper_base(protocol);
+        let mut ops = vec![TraceOp::ArmFirstTouch];
+        for &(cpu, page, block, flags) in &stream {
+            ops.push(TraceOp::Access {
+                cpu: CpuId(cpu),
+                va: Va(0x4000 + page * 4096 + block * 32),
+                write: flags & 1 == 1,
+            });
+            if flags == 7 {
+                ops.push(TraceOp::Barrier);
+            }
+        }
+        let mut serial = Machine::new(config).expect("valid config");
+        serial.apply_batch(&ops);
+        let reference = serial.metrics();
+        for shards in [1usize, 2, 4] {
+            for banks in [1usize, 3, 8] {
+                for pipelined in [true, false] {
+                    let mut sm = ShardedMachine::with_pool(config, shards, forced_pool())
+                        .expect("valid config");
+                    sm.set_parallel_threshold(16);
+                    sm.set_dir_shards(banks);
+                    sm.set_pipelined(pipelined);
+                    sm.run_trace(&ops);
+                    prop_assert!(
+                        reference.replay_eq(&sm.metrics()),
+                        "random stream diverged: pipelined={} shards={} banks={} on {}",
+                        pipelined,
+                        shards,
+                        banks,
+                        protocol
+                    );
+                }
+            }
+        }
+    }
+}

@@ -7,7 +7,10 @@
 
 use rnuma::config::{MachineConfig, Protocol};
 use rnuma::experiment::{run, run_env_sharded, run_parallel};
-use rnuma::shard::shards_from_env;
+use rnuma::shard::{
+    dir_shards_from_env, pipeline_from_env, shards_from_env, ShardedMachine, DEFAULT_DIR_SHARDS,
+    MAX_DIR_SHARDS,
+};
 use rnuma_bench::sweep_grid;
 use rnuma_workloads::{by_name, Scale};
 
@@ -67,6 +70,48 @@ fn rnuma_shards_routing() {
     with_env(Some("banana"), || assert_eq!(shards_from_env(), None));
     with_env(Some("0"), || assert_eq!(shards_from_env(), None));
     with_env(Some("-3"), || assert_eq!(shards_from_env(), None));
+
+    // RNUMA_PIPELINE selects the engine: unset and the accepted "on"
+    // spellings are pipelined (the default), the "off" spellings are
+    // the barrier engine, anything else warns once and keeps the
+    // default. A freshly built machine picks the choice up.
+    with_var("RNUMA_PIPELINE", None, || assert!(pipeline_from_env()));
+    for on in ["1", "on", "true"] {
+        with_var("RNUMA_PIPELINE", Some(on), || assert!(pipeline_from_env()));
+    }
+    for off in ["0", "off", "false"] {
+        with_var("RNUMA_PIPELINE", Some(off), || {
+            assert!(!pipeline_from_env());
+            let sm = ShardedMachine::new(config, 2).expect("valid config");
+            assert!(!sm.pipelined());
+        });
+    }
+    with_var("RNUMA_PIPELINE", Some("sideways"), || {
+        assert!(pipeline_from_env());
+    });
+
+    // RNUMA_DIR_SHARDS banks the footprint directory: unset means the
+    // default bank count, valid values stick (clamped to the maximum),
+    // and zero or garbage warn once and fall back to the default.
+    with_var("RNUMA_DIR_SHARDS", None, || {
+        assert_eq!(dir_shards_from_env(), None);
+        let sm = ShardedMachine::new(config, 2).expect("valid config");
+        assert_eq!(sm.dir_shards(), DEFAULT_DIR_SHARDS);
+    });
+    with_var("RNUMA_DIR_SHARDS", Some("3"), || {
+        assert_eq!(dir_shards_from_env(), Some(3));
+        let sm = ShardedMachine::new(config, 2).expect("valid config");
+        assert_eq!(sm.dir_shards(), 3);
+    });
+    with_var("RNUMA_DIR_SHARDS", Some("100000"), || {
+        assert_eq!(dir_shards_from_env(), Some(MAX_DIR_SHARDS));
+    });
+    with_var("RNUMA_DIR_SHARDS", Some("0"), || {
+        assert_eq!(dir_shards_from_env(), None);
+    });
+    with_var("RNUMA_DIR_SHARDS", Some("banana"), || {
+        assert_eq!(dir_shards_from_env(), None);
+    });
 
     // The trace-once/replay-many sweep driver honors the same
     // environment: every (RNUMA_JOBS, RNUMA_SHARDS) combination must
