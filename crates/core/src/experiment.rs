@@ -41,7 +41,7 @@ use crate::journal::{cell_key, Journal};
 use crate::machine::Machine;
 use crate::metrics::Metrics;
 use crate::program::{Runner, Workload};
-use crate::shard::{shards_from_env, CpuRun, ShardPool, ShardedMachine, TraceOp};
+use crate::shard::{shards_from_env, CpuRun, ExecEngine, ShardPool, ShardedMachine, TraceOp};
 use crate::trace::{
     decode_segment, encode_segment, spill_dir_from_env, CpuRefs, ProfileArena, SegMeta, SEG_OPS,
 };
@@ -273,17 +273,67 @@ where
         .collect()
 }
 
+/// Shared parser for numeric `RNUMA_*` environment variables under the
+/// workspace's uniform misconfiguration contract.
+///
+/// * Unset → `default` (each variable's documented fallback).
+/// * A parse in `1..` → `Some(value)`, clamped down to `max`.
+/// * Set but *not a usable count* — `0` or anything unparsable — is a
+///   misconfiguration: one warning naming the variable goes to stderr
+///   (once per variable per process; tests count the name in
+///   subprocess stderr), and `default` applies. Misconfiguration never
+///   aborts a run and never silently coerces.
+#[must_use]
+pub fn env_usize(name: &str, default: Option<usize>, max: usize) -> Option<usize> {
+    let Ok(raw) = std::env::var(name) else {
+        return default;
+    };
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n.min(max)),
+        _ => {
+            warn_once_misconfigured(name, &raw, max);
+            default
+        }
+    }
+}
+
+/// One stderr warning per misconfigured variable per process. A
+/// per-name registry (rather than one `Once` per call site) keeps the
+/// contract uniform no matter how many call sites parse the same
+/// variable.
+fn warn_once_misconfigured(name: &str, raw: &str, max: usize) {
+    use std::sync::{Mutex, OnceLock, PoisonError};
+    static WARNED: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    let mut warned = WARNED
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if warned.iter().any(|n| n == name) {
+        return;
+    }
+    warned.push(name.to_string());
+    if max == usize::MAX {
+        eprintln!("rnuma: {name}={raw:?} is not a count (want an integer >= 1); using the documented default");
+    } else {
+        eprintln!(
+            "rnuma: {name}={raw:?} is not a count (want 1..={max}); using the documented default"
+        );
+    }
+}
+
 /// The worker count [`parallel_map`] would use for `jobs` jobs:
-/// `RNUMA_JOBS` when set, otherwise the host's available parallelism,
-/// clamped to the job count. Batch drivers that want to bound
-/// in-flight memory (e.g. raw traces awaiting interning) size their
-/// batches with this.
+/// `RNUMA_JOBS` when set to a usable count, otherwise the host's
+/// available parallelism, clamped to the job count. `RNUMA_JOBS=0` or
+/// an unparsable value is a misconfiguration: it warns once to stderr
+/// and falls back to available parallelism ([`env_usize`] contract),
+/// exactly like the other numeric `RNUMA_*` variables. Batch drivers
+/// that want to bound in-flight memory (e.g. raw traces awaiting
+/// interning) size their batches with this.
 #[must_use]
 pub fn parallel_workers(jobs: usize) -> usize {
-    std::env::var("RNUMA_JOBS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    env_usize("RNUMA_JOBS", Some(host), usize::MAX)
+        .unwrap_or(host)
         .clamp(1, jobs.max(1))
 }
 
@@ -907,12 +957,13 @@ fn seg_hash(ops: &[TraceOp]) -> u64 {
 
 /// Asserts that a pool-backed sharded replay on `config` is
 /// bit-identical to `report` (the serial execution of the same
-/// stream) — through **both** window engines: the pipelined executor
-/// (scan overlapped with pool execution) and the plain barrier engine
-/// it is differentially pinned against. `feed` drives the stream into
-/// each sharded machine — a flat `run_trace` or a segment-by-segment
-/// decoded replay; the executor folds its metrics after every feed, so
-/// the two are equivalent.
+/// stream) — through **all three** window engines: the shared-log
+/// executor (per-shard span consumption), the pipelined executor
+/// (scan overlapped with pool execution), and the plain barrier
+/// engine both are differentially pinned against. `feed` drives the
+/// stream into each sharded machine — a flat `run_trace` or a
+/// segment-by-segment decoded replay; the executor folds its metrics
+/// after every feed, so the two are equivalent.
 ///
 /// Runs on [`ShardPool::checking`], which always has workers — a
 /// zero-worker pool would make the executor bypass itself and turn the
@@ -923,12 +974,11 @@ fn check_sharded_replay(
     shards: usize,
     feed: impl Fn(&mut ShardedMachine),
 ) {
-    for pipelined in [true, false] {
+    for engine in [ExecEngine::Log, ExecEngine::Pipeline, ExecEngine::Barrier] {
         let mut sharded = ShardedMachine::with_pool(config, shards, ShardPool::checking())
             .expect("config validated by caller");
-        sharded.set_pipelined(pipelined);
+        sharded.set_engine(engine);
         feed(&mut sharded);
-        let engine = if pipelined { "pipelined" } else { "barrier" };
         assert!(
             report.metrics.replay_eq(&sharded.metrics()),
             "{engine} sharded replay ({shards} shards) diverged from serial for {} on {}:\n\

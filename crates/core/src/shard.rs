@@ -18,15 +18,17 @@
 //!    along node boundaries.
 //! 3. **Epochs (contained windows).** The executor scans the trace
 //!    forward, classifying each op against the monotone per-page *shard
-//!    footprint* (which shards have ever referenced the page, and
-//!    whether any op has ever written it) and the page's home. An
-//!    access is **contained** when its page's home lies in the
-//!    issuer's shard and either its footprint is exactly the issuer's
-//!    shard, or it is a load of a page no op has ever stored to (the
-//!    read-shared relaxation — a never-written page has no owner and
-//!    no dirty copy anywhere): the entire walk — coherence actions
-//!    included — then provably touches only shard-local state, so ops
-//!    of different shards commute and each shard may execute its
+//!    footprint* (which shards have ever referenced the page, which
+//!    shards have ever stored to it, and the epoch of its last
+//!    ownership transition) and the page's home. An access is
+//!    **contained** when its page's home lies in the issuer's shard
+//!    and either its footprint is exactly the issuer's shard, or it is
+//!    a load of a page every writer of which is the issuer's own shard
+//!    (the ownership relaxation — such a page has no dirty copy, and
+//!    no owner, outside the issuing shard, and loads never touch
+//!    foreign sharers): the entire walk — coherence actions included —
+//!    then provably touches only shard-local state, so ops of
+//!    different shards commute and each shard may execute its
 //!    subsequence, in order, on its own thread. The maximal contained
 //!    prefix forms one epoch; the first non-contained op ends it and
 //!    executes serially between epochs. The footprint/home directory
@@ -42,16 +44,33 @@
 //!    contained op can observe that directory state before the barrier
 //!    (any op that could is, by the footprint rule, not contained), so
 //!    deferral is exact.
-//! 5. **Pipelining.** While pool workers execute window N, the
-//!    coordinator scans window N+1 into a private overlay of the
-//!    footprint directory (the base is frozen under the workers'
-//!    `Arc` views), merging it bank-by-bank at the barrier — the scan
-//!    leaves the critical path. A fault recovery at the barrier
-//!    discards the in-flight overlay
-//!    ([`ShardStats::scans_invalidated`]) and re-scans exactly;
-//!    `RNUMA_PIPELINE=0` selects the plain barrier engine (scan,
-//!    execute, barrier, strictly in sequence), the differential
-//!    reference of `tests/pipelined_determinism.rs`.
+//! 5. **Engines.** Three schedulers share that window model, selected
+//!    by `RNUMA_EXEC` ([`ExecEngine`]):
+//!    * **`log`** (the default) — the *shared-log* engine: one pass
+//!      per segment classifies every op up front, folds `ArmFirstTouch`
+//!      into the scan (arming is applied in trace order as the scan
+//!      walks, so an arm *merges* the windows on either side of it
+//!      instead of fencing them — the retired global barriers), and
+//!      appends one fence-delimited window descriptor (`SpanDesc`) per
+//!      span to an append-only log. Shards then consume the log at
+//!      their own pace behind per-shard cursors; a true fence (a
+//!      cross-shard access or a barrier) is the only point where the
+//!      whole machine reassembles, and a lost worker rolls back only
+//!      its own cursor ([`ShardedMachine::cursor_rollbacks`]) — never
+//!      the other shards' completed spans.
+//!    * **`pipeline`** — while pool workers execute window N, the
+//!      coordinator scans window N+1 into a private overlay of the
+//!      footprint directory (the base is frozen under the workers'
+//!      `Arc` views), merging it bank-by-bank at the barrier. A fault
+//!      recovery at the barrier discards the in-flight overlay
+//!      ([`ShardStats::scans_invalidated`]) and re-scans exactly.
+//!    * **`barrier`** — scan, execute, barrier, strictly in sequence.
+//!
+//!    All three are bit-identical by contract — the pipelined and
+//!    barrier engines remain as differential references
+//!    (`tests/pipelined_determinism.rs` pins log ≡ pipelined ≡
+//!    barrier ≡ serial); `RNUMA_PIPELINE` is the legacy two-way
+//!    selector and keeps working.
 //!
 //! # The worker pool
 //!
@@ -81,7 +100,7 @@ use crate::machine::{Machine, ShardChunk};
 use crate::metrics::Metrics;
 use rnuma_mem::addr::{CpuId, NodeId, VPage, Va};
 use rnuma_mem::fxmap::FxMap;
-use rnuma_mem::paged::dir_shard_of;
+use rnuma_mem::paged::{dir_shard_of, EpochTags};
 use rnuma_proto::effect::EffectMsg;
 use rnuma_sim::fault::{FaultKind, FaultLog, FaultPlan};
 use rnuma_sim::{Cycles, EpochClock};
@@ -333,21 +352,41 @@ pub struct ShardStats {
     /// re-scan is deterministic, so results are unaffected — this
     /// counter is the only trace the discard leaves).
     pub scans_invalidated: u64,
+    /// Log-engine window descriptors consumed from the shared span log
+    /// (one ownership epoch each).
+    pub log_spans: u64,
+    /// Blocking ops that actually fenced a log span (cross-shard
+    /// accesses and barriers; folded arms never fence).
+    pub log_fences: u64,
+    /// `ArmFirstTouch` ops the log scan applied in place, in trace
+    /// order, instead of fencing a window — the retired global
+    /// barriers. Windows on either side of a folded arm merge.
+    pub arms_folded: u64,
 }
 
-/// Footprint record of one page: which shards ever referenced it, its
-/// (immutable once fixed) home, and whether any scanned op has ever
-/// written it.
+/// Footprint record of one page: which shards ever referenced it, which
+/// shards ever stored to it, its (immutable once fixed) home, and the
+/// ownership epoch of its last writer-set transition.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct PageInfo {
     shard_mask: u32,
+    /// Monotone: the set of shards that have ever stored to the page.
+    /// While empty, the page provably has no owner in any directory
+    /// (ownership requires a store) and no dirty copy anywhere; while
+    /// it is a subset of one shard's bit, every owner and every dirty
+    /// copy lives inside that shard. Both facts license the ownership
+    /// containment relaxation in [`classify`].
+    writer_mask: u32,
     home: NodeId,
-    /// Monotone: set by the first scanned store to the page, never
-    /// cleared. While false, the page provably has no owner in any
-    /// directory (ownership requires a store) and no dirty copy
-    /// anywhere, which is what licenses the read-shared containment
-    /// relaxation in [`classify`].
-    written: bool,
+    /// Epoch (global window/span counter) of the page's last ownership
+    /// transition — the most recent scan point where a new shard joined
+    /// `writer_mask` (or the page was first referenced). A shard may
+    /// run ahead on pages whose transitions it owns; an access that
+    /// would move ownership across shards is exactly a blocking op, so
+    /// this stamp is the per-page fence the log engine waits at, and
+    /// the `epoch` component of every deferred effect key
+    /// ([`EffectKey`]) for pages written in that span.
+    owner_epoch: u64,
 }
 
 /// The monotone per-page footprint/home directory the window scan
@@ -369,6 +408,10 @@ pub(crate) struct PageInfo {
 #[derive(Clone, Debug)]
 pub(crate) struct Footprints {
     banks: Vec<FxMap<VPage, PageInfo>>,
+    /// Per-bank ownership-epoch high-water marks: the coarse summary
+    /// of every `PageInfo::owner_epoch` stamp folded into each bank
+    /// (diagnostics and invariant checks; never classification).
+    tags: EpochTags,
 }
 
 impl Default for Footprints {
@@ -381,6 +424,7 @@ impl Footprints {
     fn with_banks(banks: usize) -> Footprints {
         Footprints {
             banks: (0..banks.max(1)).map(|_| FxMap::new()).collect(),
+            tags: EpochTags::new(banks),
         }
     }
 
@@ -415,18 +459,35 @@ impl Footprints {
         self.get(page).map(|info| info.home)
     }
 
+    /// Folds an ownership stamp into the page's bank tag (see
+    /// [`EpochTags`]).
+    #[inline]
+    fn tag(&mut self, page: VPage, epoch: u64) {
+        self.tags.record(page, epoch);
+    }
+
+    /// The high-water ownership epoch across all banks.
+    pub(crate) fn epoch_high_water(&self) -> u64 {
+        self.tags.high_water()
+    }
+
     /// Discards every entry (bank structure is kept).
     fn clear(&mut self) {
         for bank in &mut self.banks {
             bank.clear();
         }
+        self.tags.clear();
     }
 
     /// Moves every entry of `overlay` into `self`, bank by bank. An
     /// overlay entry is authoritative: it was copied from the base (or
     /// freshly resolved) and then updated, so it replaces the base's.
+    /// Bank tags merge by per-bank max, so the base's high-water marks
+    /// cover the overlay's stamps after the merge.
     fn merge_from(&mut self, overlay: &mut Footprints) {
         debug_assert_eq!(self.banks.len(), overlay.banks.len());
+        self.tags.merge_from(&overlay.tags);
+        overlay.tags.clear();
         for (dst, src) in self.banks.iter_mut().zip(&mut overlay.banks) {
             if src.is_empty() {
                 continue;
@@ -461,6 +522,63 @@ enum Class {
     /// Needs the whole machine (cross-shard access or global op): ends
     /// the window and runs serially.
     Blocking,
+}
+
+/// The window scheduler a [`ShardedMachine`] executes with
+/// (`RNUMA_EXEC=log|pipeline|barrier`; [`set_engine`]).
+///
+/// All three produce bit-identical results for any trace — they differ
+/// only in how windows are formed and overlapped, i.e. in scheduling
+/// statistics and wall-clock. The pipelined and barrier engines are
+/// kept as differential references for the log engine.
+///
+/// [`set_engine`]: ShardedMachine::set_engine
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecEngine {
+    /// Shared-log consumption (the default): one up-front scan per
+    /// segment appends fence-delimited window descriptors to an
+    /// append-only span log, folding first-touch arming into the scan
+    /// so arms never fence; shards consume the log behind per-shard
+    /// cursors and fault recovery rolls back only the faulted shard's
+    /// cursor.
+    Log,
+    /// Lockstep windows with the scan of window N+1 overlapped with
+    /// the pool's execution of window N (`RNUMA_PIPELINE=1` legacy).
+    Pipeline,
+    /// Lockstep windows, strictly scan → execute → barrier
+    /// (`RNUMA_PIPELINE=0` legacy).
+    Barrier,
+}
+
+impl std::fmt::Display for ExecEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExecEngine::Log => "log",
+            ExecEngine::Pipeline => "pipeline",
+            ExecEngine::Barrier => "barrier",
+        })
+    }
+}
+
+/// One entry of the log engine's shared span log: a fence-delimited
+/// window descriptor — the contained op range, the index of the
+/// blocking op that fenced it (if any), and, for spans past the
+/// parallel threshold, the pre-bucketed per-shard run tables every
+/// shard's consumption dispatches from.
+#[derive(Debug)]
+struct SpanDesc {
+    /// Trace positions of the span's contained ops (folded arms
+    /// included — re-arming is an idempotent no-op on replay).
+    range: Range<usize>,
+    /// Trace position of the blocking op closing the span; `None` for
+    /// the segment's final span.
+    fence: Option<usize>,
+    /// Per-CPU ops in `range` (what the buckets hold; folded arms and
+    /// the fence excluded).
+    per_cpu_ops: usize,
+    /// One bucket per shard when the span fans out; empty for
+    /// below-threshold spans, which replay batched on the coordinator.
+    buckets: Vec<Bucket>,
 }
 
 /// A typed worker-pool failure, as observed by the coordinator.
@@ -880,10 +998,10 @@ pub struct ShardedMachine {
     /// the base bank-by-bank at the barrier — or discarded (and
     /// counted) when a fault forces inline re-execution.
     scan_overlay: Footprints,
-    /// Overlap the next window's scan with the current window's pool
-    /// execution (`RNUMA_PIPELINE`, default on). Off = the plain
-    /// barrier engine: scan, execute, barrier, strictly in sequence.
-    pipelined: bool,
+    /// Which window scheduler consumes the trace (`RNUMA_EXEC`, with
+    /// `RNUMA_PIPELINE` as the legacy two-way selector; default
+    /// [`ExecEngine::Log`]). Results are engine-agnostic by contract.
+    engine: ExecEngine,
     epochs: EpochClock,
     parallel_threshold: usize,
     pool: Arc<ShardPool>,
@@ -906,6 +1024,16 @@ pub struct ShardedMachine {
     fault_log: FaultLog,
     /// Monotone job-id source for stale-reply discrimination.
     next_job_id: u64,
+    /// Log engine: each shard's consumption cursor into the shared
+    /// span log — the number of window descriptors that shard has
+    /// consumed (inline spans count for every shard; a shard with an
+    /// empty bucket consumes the descriptor by skipping it).
+    span_cursors: Vec<u64>,
+    /// Log engine: how often each shard's cursor was rolled back to
+    /// its pre-dispatch snapshot by fault recovery. Recovery is
+    /// per-cursor — a lost worker re-executes only its own span job;
+    /// the other shards' completed spans stand.
+    cursor_rollbacks: Vec<u64>,
 }
 
 /// A dispatched-but-unresolved window job the barrier is waiting on:
@@ -963,7 +1091,7 @@ impl ShardedMachine {
             shard_of_node,
             footprints: Arc::new(Footprints::with_banks(dir_banks)),
             scan_overlay: Footprints::with_banks(dir_banks),
-            pipelined: pipeline_from_env(),
+            engine: engine_from_env(),
             epochs: EpochClock::new(),
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             pool,
@@ -977,6 +1105,8 @@ impl ShardedMachine {
             deadline_ms: window_deadline_from_env(),
             fault_log: FaultLog::new(),
             next_job_id: 0,
+            span_cursors: vec![0; shards],
+            cursor_rollbacks: vec![0; shards],
             ranges,
         })
     }
@@ -1032,20 +1162,52 @@ impl ShardedMachine {
         self.parallel_threshold = ops.max(1);
     }
 
-    /// Enables or disables pipelined window execution, replacing
-    /// whatever `RNUMA_PIPELINE` configured. `false` selects the plain
-    /// barrier engine (scan, execute, barrier, strictly in sequence) —
-    /// the reference the pipelined executor is differentially tested
-    /// against. Results are bit-identical either way; only scheduling
-    /// statistics and wall-clock differ.
+    /// Selects the window scheduler, replacing whatever `RNUMA_EXEC`
+    /// (or the legacy `RNUMA_PIPELINE`) configured. Results are
+    /// bit-identical under every engine; only scheduling statistics
+    /// and wall-clock differ.
+    pub fn set_engine(&mut self, engine: ExecEngine) {
+        self.engine = engine;
+    }
+
+    /// The selected window scheduler.
+    #[must_use]
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
+    }
+
+    /// Legacy two-way selector: `true` is the pipelined engine, `false`
+    /// the plain barrier engine (scan, execute, barrier, strictly in
+    /// sequence) — the differential references the log engine is
+    /// tested against. Results are bit-identical either way.
     pub fn set_pipelined(&mut self, on: bool) {
-        self.pipelined = on;
+        self.engine = if on {
+            ExecEngine::Pipeline
+        } else {
+            ExecEngine::Barrier
+        };
     }
 
     /// Whether pipelined window execution is selected.
     #[must_use]
     pub fn pipelined(&self) -> bool {
-        self.pipelined
+        self.engine == ExecEngine::Pipeline
+    }
+
+    /// Log engine: each shard's consumption cursor into the shared span
+    /// log (descriptors consumed so far; other engines leave these 0).
+    #[must_use]
+    pub fn span_cursors(&self) -> &[u64] {
+        &self.span_cursors
+    }
+
+    /// How often each shard's consumption was rolled back to its
+    /// pre-dispatch snapshot by fault recovery. Recovery is per-shard:
+    /// a lost worker re-executes only its own job, so exactly the
+    /// faulted shard's counter moves.
+    #[must_use]
+    pub fn cursor_rollbacks(&self) -> &[u64] {
+        &self.cursor_rollbacks
     }
 
     /// Re-banks the footprint/home directory into `banks` sub-shards
@@ -1064,6 +1226,18 @@ impl ShardedMachine {
     #[must_use]
     pub fn dir_shards(&self) -> usize {
         self.footprints.bank_count()
+    }
+
+    /// High-water ownership epoch across the footprint directory's
+    /// bank tags: the newest `PageInfo::owner_epoch` stamp any scan has
+    /// folded in (see [`EpochTags`]). Never exceeds the epoch counter —
+    /// stamps come only from scans at (or, for a prefetched scan, one
+    /// past) the current epoch — which the engines `debug_assert`.
+    #[must_use]
+    pub fn dir_epoch_high_water(&self) -> u64 {
+        self.footprints
+            .epoch_high_water()
+            .max(self.scan_overlay.epoch_high_water())
     }
 
     /// The underlying machine (read-only; diagnostics).
@@ -1131,6 +1305,47 @@ impl ShardedMachine {
             self.machine.apply_batch(ops);
             return;
         }
+        match self.engine {
+            ExecEngine::Log => self.run_ops_log(ops),
+            ExecEngine::Pipeline | ExecEngine::Barrier => self.run_ops_windowed(ops),
+        }
+    }
+
+    /// Log engine: builds the segment's shared span log in one up-front
+    /// pass, then lets the shards consume it descriptor by descriptor.
+    /// The scan is entirely off the execution path — footprints freeze
+    /// once per segment, there is no overlay and nothing to invalidate
+    /// — and only a descriptor's fence (a cross-shard access or a
+    /// barrier; never a folded arm) reassembles the whole machine.
+    fn run_ops_log(&mut self, ops: &[TraceOp]) {
+        let cpus_per_node = self.machine.config().cpus_per_node;
+        let log = self.build_log(ops, cpus_per_node);
+        for span in log {
+            let fence = span.fence;
+            self.exec_span(ops, span);
+            // Every shard consumed the descriptor (an empty bucket is
+            // consumed by skipping it).
+            for cursor in &mut self.span_cursors {
+                *cursor += 1;
+            }
+            if let Some(at) = fence {
+                self.stats.log_fences += 1;
+                self.exec_blocking(&ops[at]);
+            }
+            self.epochs.advance();
+        }
+        // The up-front scan stamps each span at its own execution
+        // epoch, so once every span has executed (one advance each) no
+        // stamp can sit past the clock.
+        debug_assert!(
+            self.dir_epoch_high_water() <= self.epochs.current().0,
+            "ownership stamp from the future: a scan classified past its epoch"
+        );
+    }
+
+    /// Lockstep engines (pipeline/barrier): scan a window, execute it,
+    /// fence at the blocking op, repeat.
+    fn run_ops_windowed(&mut self, ops: &[TraceOp]) {
         let cpus_per_node = self.machine.config().cpus_per_node;
         let mut cursor = 0usize;
         // End of the window starting at `cursor` when the previous
@@ -1157,6 +1372,13 @@ impl ShardedMachine {
                 cursor = end;
             }
             self.epochs.advance();
+            // A prefetched scan stamps at the *next* window's epoch —
+            // exactly the clock value after this advance — so stamps
+            // never sit past the clock at a barrier.
+            debug_assert!(
+                self.dir_epoch_high_water() <= self.epochs.current().0,
+                "ownership stamp from the future: a scan classified past its epoch"
+            );
         }
     }
 
@@ -1167,6 +1389,7 @@ impl ShardedMachine {
     /// not per op — yields the in-place borrow the whole scan
     /// classifies against.
     fn scan_window(&mut self, ops: &[TraceOp], cursor: usize, cpus_per_node: u16) -> usize {
+        let epoch = self.epochs.current().0;
         let mut end = cursor;
         let mut target = ScanTarget::Base(Arc::make_mut(&mut self.footprints));
         while end < ops.len()
@@ -1176,6 +1399,7 @@ impl ShardedMachine {
                 &mut self.machine,
                 &self.shard_of_node,
                 cpus_per_node,
+                epoch,
             ) == Class::Contained
         {
             end += 1;
@@ -1204,6 +1428,8 @@ impl ShardedMachine {
         if matches!(ops[blocking], TraceOp::ArmFirstTouch) {
             self.machine.pages_mut().arm_first_touch();
         }
+        // The scanned window executes one epoch after the in-flight one.
+        let epoch = self.epochs.current().0 + 1;
         let mut end = blocking + 1;
         let mut target = ScanTarget::Overlay {
             base: &self.footprints,
@@ -1216,6 +1442,7 @@ impl ShardedMachine {
                 &mut self.machine,
                 &self.shard_of_node,
                 cpus_per_node,
+                epoch,
             ) == Class::Contained
         {
             end += 1;
@@ -1227,6 +1454,141 @@ impl ShardedMachine {
     fn shard_of_cpu(&self, cpu: CpuId) -> usize {
         let node = (cpu.0 / self.machine.config().cpus_per_node) as usize;
         self.shard_of_node[node] as usize
+    }
+
+    /// Builds the shared span log for one segment: a single pass in
+    /// trace order classifies every op against the footprint directory
+    /// and appends one fence-delimited [`SpanDesc`] per window.
+    ///
+    /// Two things distinguish this from the lockstep engines' scans:
+    ///
+    /// * **Arms fold.** `ArmFirstTouch`'s one scan-visible effect —
+    ///   the page manager's arming flag — is applied right here, in
+    ///   trace order, and the op never fences: the windows on either
+    ///   side merge into one span. This is exact for the same reason
+    ///   the pipelined prefetch may arm early (the flag is monotone
+    ///   and idempotent, homes resolve in trace order either way), and
+    ///   it is what retires the global barrier the arm used to force.
+    /// * **The whole segment scans before anything executes.**
+    ///   Classification depends only on the monotone footprints, the
+    ///   trace-order home resolution, and the arming flag — never on
+    ///   execution state — so scanning arbitrarily far past unexecuted
+    ///   blocking ops is exact (the pipelined engine's one-window
+    ///   lookahead argument, applied inductively). Footprints are
+    ///   frozen once per segment; there is no overlay.
+    ///
+    /// Each span's ownership epoch is `base_epoch + its log position`;
+    /// [`classify`] stamps that epoch into `PageInfo::owner_epoch` on
+    /// every writer-set transition, so a deferred effect's
+    /// `(epoch, home, seq)` key carries the epoch of the span that
+    /// owns the transition, with `seq` still the global trace position.
+    fn build_log(&mut self, ops: &[TraceOp], cpus_per_node: u16) -> Vec<SpanDesc> {
+        let base_epoch = self.epochs.current().0;
+        let shards = self.ranges.len();
+        let threshold = self.parallel_threshold;
+        let mut log: Vec<SpanDesc> = Vec::new();
+        let mut buckets: Vec<Bucket> = (0..shards).map(|_| Bucket::default()).collect();
+        let mut per_cpu_ops = 0usize;
+        let mut start = 0usize;
+        // The coordinator is sole owner until execution starts: one
+        // make_mut for the whole segment scan.
+        let mut target = ScanTarget::Base(Arc::make_mut(&mut self.footprints));
+        for (i, op) in ops.iter().enumerate() {
+            if matches!(op, TraceOp::ArmFirstTouch) {
+                self.machine.pages_mut().arm_first_touch();
+                self.stats.arms_folded += 1;
+                continue;
+            }
+            let epoch = base_epoch + log.len() as u64;
+            let class = classify(
+                op,
+                &mut target,
+                &mut self.machine,
+                &self.shard_of_node,
+                cpus_per_node,
+                epoch,
+            );
+            match class {
+                Class::Contained => {
+                    if let TraceOp::Access { cpu, .. } | TraceOp::Think { cpu, .. } = *op {
+                        let node = (cpu.0 / cpus_per_node) as usize;
+                        let shard = self.shard_of_node[node] as usize;
+                        buckets[shard].push(i as u64, cpu, *op);
+                        per_cpu_ops += 1;
+                    }
+                }
+                Class::Blocking => {
+                    log.push(close_span(
+                        start..i,
+                        Some(i),
+                        per_cpu_ops,
+                        threshold,
+                        &mut buckets,
+                    ));
+                    per_cpu_ops = 0;
+                    start = i + 1;
+                }
+            }
+        }
+        if start < ops.len() || per_cpu_ops > 0 {
+            log.push(close_span(
+                start..ops.len(),
+                None,
+                per_cpu_ops,
+                threshold,
+                &mut buckets,
+            ));
+        }
+        log
+    }
+
+    /// Consumes one span of the shared log at the current epoch:
+    /// below-threshold spans replay batched on the coordinator (the
+    /// folded arms inside the range re-arm as idempotent no-ops);
+    /// larger spans dispatch the descriptor's pre-built buckets — one
+    /// job per shard, first non-empty bucket inline on the coordinator
+    /// — and close with the effect barrier in canonical
+    /// `(epoch, home, seq)` order.
+    fn exec_span(&mut self, ops: &[TraceOp], span: SpanDesc) {
+        if span.range.is_empty() {
+            return;
+        }
+        self.stats.windows += 1;
+        self.stats.log_spans += 1;
+        self.stats.contained_ops += span.per_cpu_ops as u64;
+        let epoch = self.epochs.current().0;
+        if span.buckets.is_empty() {
+            self.machine.apply_batch(&ops[span.range]);
+            return;
+        }
+        self.stats.parallel_windows += 1;
+        for (slot, bucket) in self.op_buckets.iter_mut().zip(span.buckets) {
+            self.stats.bucket_runs += bucket.runs.len() as u64;
+            *slot = bucket;
+        }
+        let cfg = *self.machine.config();
+        let armed = self.armed();
+        self.machine.detach_shards(&self.ranges, &mut self.chunks);
+        let mut inline_shard = None;
+        let mut pending: Vec<Pending> = Vec::new();
+        for s in 0..self.ranges.len() {
+            if self.op_buckets[s].is_empty() {
+                continue;
+            }
+            if inline_shard.is_none() {
+                inline_shard = Some(s);
+                continue;
+            }
+            self.dispatch_shard(s, &cfg, epoch, armed, &mut pending);
+        }
+        if let Some(s) = inline_shard {
+            let bucket = &self.op_buckets[s];
+            let mut lane = self.chunks[s].lanes(&cfg, &self.footprints, epoch);
+            lane.run_batch(&bucket.ops, &bucket.runs);
+        }
+        self.collect_pending(&mut pending, &cfg, epoch);
+        self.machine.attach_shards(&mut self.chunks);
+        self.apply_effects(epoch);
     }
 
     /// Executes a contained window: inline when smaller than the
@@ -1297,72 +1659,7 @@ impl ShardedMachine {
                 inline_shard = Some(s);
                 continue;
             }
-            // Fault decisions are made coordinator-side, in dispatch
-            // order, so the schedule is a pure function of the plan —
-            // workers just obey the job's inject flag.
-            if let Some(plan) = &mut self.fault_plan {
-                if plan.should_fire(FaultKind::Poison) {
-                    self.pool.poison();
-                }
-            }
-            let inject = self.fault_plan.as_mut().and_then(|plan| {
-                if plan.should_fire(FaultKind::PanicBefore) {
-                    Some(Inject::PanicBefore)
-                } else if plan.should_fire(FaultKind::PanicAfter) {
-                    Some(Inject::PanicAfter)
-                } else if plan.should_fire(FaultKind::Hang) {
-                    Some(Inject::Hang(plan.hang_ms()))
-                } else {
-                    None
-                }
-            });
-            let chunk = std::mem::take(&mut self.chunks[s]);
-            let bucket = std::mem::take(&mut self.op_buckets[s]);
-            // Armed executions snapshot (chunk, bucket) before dispatch:
-            // a window is self-contained given (cfg, homes, epoch), so
-            // re-executing the snapshot inline reproduces the worker's
-            // result exactly. Un-armed runs skip the clone.
-            let snapshot = armed.then(|| (chunk.clone(), bucket.clone()));
-            let job_id = self.next_job_id;
-            self.next_job_id += 1;
-            match self.pool.submit(Job {
-                cfg,
-                epoch,
-                homes: Arc::clone(&self.footprints),
-                chunk,
-                bucket,
-                job_id,
-                inject,
-                reply: self.reply_tx.clone(),
-            }) {
-                Ok(()) => {
-                    pending.push(Pending {
-                        job_id,
-                        slot: s,
-                        inject,
-                        snapshot,
-                    });
-                    self.stats.pool_jobs += 1;
-                }
-                Err((err, job)) => {
-                    // Typed submission failure (no workers, poisoned or
-                    // closed queue): the job comes back and its bucket
-                    // runs inline on the coordinator — degraded, never
-                    // aborted, results unchanged.
-                    let Job {
-                        mut chunk, bucket, ..
-                    } = job;
-                    {
-                        let mut lane = chunk.lanes(&cfg, &self.footprints, epoch);
-                        lane.run_batch(&bucket.ops, &bucket.runs);
-                    }
-                    self.chunks[s] = chunk;
-                    self.op_buckets[s] = bucket;
-                    self.stats.inline_fallbacks += 1;
-                    self.fault_log
-                        .record(FaultKind::Poison, job_id, err.to_string());
-                }
-            }
+            self.dispatch_shard(s, &cfg, epoch, armed, &mut pending);
         }
         if let Some(s) = inline_shard {
             let bucket = &self.op_buckets[s];
@@ -1375,17 +1672,131 @@ impl ShardedMachine {
         // anything when jobs are actually in flight — otherwise the
         // scan would run now or at the next iteration all the same.
         let mut prefetched = None;
-        if self.pipelined && end < ops.len() && !pending.is_empty() {
+        if self.engine == ExecEngine::Pipeline && end < ops.len() && !pending.is_empty() {
             prefetched = Some(self.prefetch_scan(ops, end, cpus_per_node));
             self.stats.scans_prefetched += 1;
         }
-        let mut recovered = false;
 
         // Epoch barrier: every chunk comes home — from its worker, or
         // re-executed from its pre-dispatch snapshot when the worker
         // panicked or the watchdog fired — then buffered cross-shard
         // directory effects replay in canonical (epoch, home, seq)
         // order.
+        let recovered = self.collect_pending(&mut pending, &cfg, epoch);
+        self.machine.attach_shards(&mut self.chunks);
+        self.apply_effects(epoch);
+
+        // Resolve the prefetched scan against what the barrier saw.
+        // Fault recovery re-executed buckets inline; the recovery
+        // invariant is deliberately conservative — no speculative scan
+        // state survives a recovered window — so the overlay is
+        // discarded and the caller re-scans. The re-scan is exact:
+        // every overlay mutation was coordinator-private, and home
+        // resolution is idempotent (a re-touched page keeps its fixed
+        // home), so the re-scan reproduces the discarded window
+        // verbatim. On the undisturbed path the overlay merges into
+        // the base — the coordinator is sole owner again, every worker
+        // dropped its `Arc` view before replying — and the prefetched
+        // window dispatches without ever re-reading those ops.
+        if prefetched.is_some() {
+            if recovered {
+                prefetched = None;
+                self.scan_overlay.clear();
+                self.stats.scans_invalidated += 1;
+            } else {
+                Arc::make_mut(&mut self.footprints).merge_from(&mut self.scan_overlay);
+            }
+        }
+        prefetched
+    }
+
+    /// Dispatches shard `s`'s filled bucket to the pool, appending to
+    /// `pending` on success. Fault decisions are made here,
+    /// coordinator-side, in dispatch order, so the schedule is a pure
+    /// function of the plan — workers just obey the job's inject flag.
+    /// A typed submission failure (no workers, poisoned or closed
+    /// queue) runs the bucket inline on the coordinator — degraded,
+    /// never aborted, results unchanged.
+    fn dispatch_shard(
+        &mut self,
+        s: usize,
+        cfg: &MachineConfig,
+        epoch: u64,
+        armed: bool,
+        pending: &mut Vec<Pending>,
+    ) {
+        if let Some(plan) = &mut self.fault_plan {
+            if plan.should_fire(FaultKind::Poison) {
+                self.pool.poison();
+            }
+        }
+        let inject = self.fault_plan.as_mut().and_then(|plan| {
+            if plan.should_fire(FaultKind::PanicBefore) {
+                Some(Inject::PanicBefore)
+            } else if plan.should_fire(FaultKind::PanicAfter) {
+                Some(Inject::PanicAfter)
+            } else if plan.should_fire(FaultKind::Hang) {
+                Some(Inject::Hang(plan.hang_ms()))
+            } else {
+                None
+            }
+        });
+        let chunk = std::mem::take(&mut self.chunks[s]);
+        let bucket = std::mem::take(&mut self.op_buckets[s]);
+        // Armed executions snapshot (chunk, bucket) before dispatch:
+        // a window is self-contained given (cfg, homes, epoch), so
+        // re-executing the snapshot inline reproduces the worker's
+        // result exactly. Un-armed runs skip the clone.
+        let snapshot = armed.then(|| (chunk.clone(), bucket.clone()));
+        let job_id = self.next_job_id;
+        self.next_job_id += 1;
+        match self.pool.submit(Job {
+            cfg: *cfg,
+            epoch,
+            homes: Arc::clone(&self.footprints),
+            chunk,
+            bucket,
+            job_id,
+            inject,
+            reply: self.reply_tx.clone(),
+        }) {
+            Ok(()) => {
+                pending.push(Pending {
+                    job_id,
+                    slot: s,
+                    inject,
+                    snapshot,
+                });
+                self.stats.pool_jobs += 1;
+            }
+            Err((err, job)) => {
+                let Job {
+                    mut chunk, bucket, ..
+                } = job;
+                {
+                    let mut lane = chunk.lanes(cfg, &self.footprints, epoch);
+                    lane.run_batch(&bucket.ops, &bucket.runs);
+                }
+                self.chunks[s] = chunk;
+                self.op_buckets[s] = bucket;
+                self.stats.inline_fallbacks += 1;
+                self.fault_log
+                    .record(FaultKind::Poison, job_id, err.to_string());
+            }
+        }
+    }
+
+    /// Collects every still-pending job at a window/span barrier: each
+    /// chunk comes home from its worker, or is re-executed from its
+    /// pre-dispatch snapshot when the worker panicked or the watchdog
+    /// fired. Returns whether any job was recovered.
+    fn collect_pending(
+        &mut self,
+        pending: &mut Vec<Pending>,
+        cfg: &MachineConfig,
+        epoch: u64,
+    ) -> bool {
+        let mut recovered = false;
         while !pending.is_empty() {
             let done = match self.deadline_ms {
                 None => match self.reply_rx.recv() {
@@ -1398,8 +1809,8 @@ impl ShardedMachine {
                         // Watchdog: every still-pending job is presumed
                         // hung. Recover them all from their snapshots;
                         // late replies are discarded by job id.
-                        for p in std::mem::take(&mut pending) {
-                            self.recover_window(p, &cfg, epoch, &PoolError::DeadlineElapsed(ms));
+                        for p in std::mem::take(pending) {
+                            self.recover_window(p, cfg, epoch, &PoolError::DeadlineElapsed(ms));
                         }
                         recovered = true;
                         break;
@@ -1425,13 +1836,18 @@ impl ShardedMachine {
                     // The worker died on this job: replace it, then
                     // recover the window exactly.
                     self.pool.respawn_worker();
-                    self.recover_window(p, &cfg, epoch, &PoolError::WorkerPanicked(payload));
+                    self.recover_window(p, cfg, epoch, &PoolError::WorkerPanicked(payload));
                     recovered = true;
                 }
             }
         }
-        self.machine.attach_shards(&mut self.chunks);
+        recovered
+    }
 
+    /// Replays the buffered cross-shard directory effects of the window
+    /// (or span) that just closed, in canonical `(epoch, home, seq)`
+    /// order.
+    fn apply_effects(&mut self, epoch: u64) {
         let effects = &mut self.effect_scratch;
         effects.clear();
         for chunk in &mut self.chunks {
@@ -1446,29 +1862,6 @@ impl ShardedMachine {
         for msg in effects.drain(..) {
             self.machine.dir_mut(msg.key.home).apply(msg.effect);
         }
-
-        // Resolve the prefetched scan against what the barrier saw.
-        // Fault recovery re-executed buckets inline; the recovery
-        // invariant is deliberately conservative — no speculative scan
-        // state survives a recovered window — so the overlay is
-        // discarded and the caller re-scans. The re-scan is exact:
-        // every overlay mutation was coordinator-private, and home
-        // resolution is idempotent (a re-touched page keeps its fixed
-        // home), so the re-scan reproduces the discarded window
-        // verbatim. On the undisturbed path the overlay merges into
-        // the base — the coordinator is sole owner again, every worker
-        // dropped its `Arc` view before replying — and the prefetched
-        // window dispatches without ever re-reading those ops.
-        if prefetched.is_some() {
-            if recovered {
-                prefetched = None;
-                self.scan_overlay.clear();
-                self.stats.scans_invalidated += 1;
-            } else {
-                Arc::make_mut(&mut self.footprints).merge_from(&mut self.scan_overlay);
-            }
-        }
-        prefetched
     }
 
     /// Exact recovery of one dispatched window job: re-executes its
@@ -1498,6 +1891,10 @@ impl ShardedMachine {
         self.chunks[p.slot] = chunk;
         self.op_buckets[p.slot] = bucket;
         self.stats.recovered_jobs += 1;
+        // The rollback is per-cursor: only the faulted shard's
+        // consumption rewound to its pre-dispatch snapshot — the other
+        // shards' completed work stands.
+        self.cursor_rollbacks[p.slot] += 1;
         let kind = match (err, p.inject) {
             (PoolError::DeadlineElapsed(_), _) => FaultKind::Hang,
             (_, Some(Inject::PanicBefore)) => FaultKind::PanicBefore,
@@ -1539,6 +1936,20 @@ enum ScanTarget<'a> {
     },
 }
 
+impl PageInfo {
+    /// Folds one scanned reference by shard-bit `bit` at `epoch` into
+    /// the entry: the shard joins the footprint, a store joins the
+    /// writer set, and a writer-set transition (a shard storing for
+    /// the first time) re-stamps the ownership epoch.
+    fn touch(&mut self, bit: u32, write: bool, epoch: u64) {
+        self.shard_mask |= bit;
+        if write && self.writer_mask & bit == 0 {
+            self.writer_mask |= bit;
+            self.owner_epoch = epoch;
+        }
+    }
+}
+
 impl ScanTarget<'_> {
     /// Reads, updates, and returns `page`'s footprint entry, creating
     /// it (home resolved through `resolve`) on the page's first-ever
@@ -1548,18 +1959,19 @@ impl ScanTarget<'_> {
         page: VPage,
         bit: u32,
         write: bool,
+        epoch: u64,
         resolve: impl FnOnce() -> NodeId,
     ) -> PageInfo {
         let fresh = |home| PageInfo {
             shard_mask: bit,
+            writer_mask: if write { bit } else { 0 },
             home,
-            written: write,
+            owner_epoch: epoch,
         };
-        match self {
+        let info = match self {
             ScanTarget::Base(fp) => {
                 if let Some(info) = fp.get_mut(page) {
-                    info.shard_mask |= bit;
-                    info.written |= write;
+                    info.touch(bit, write, epoch);
                     *info
                 } else {
                     let info = fresh(resolve());
@@ -1569,26 +1981,32 @@ impl ScanTarget<'_> {
             }
             ScanTarget::Overlay { base, overlay } => {
                 if let Some(info) = overlay.get_mut(page) {
-                    info.shard_mask |= bit;
-                    info.written |= write;
+                    info.touch(bit, write, epoch);
                     *info
                 } else {
                     // Copy-on-first-touch from the frozen base, or a
                     // brand-new page; either way the authoritative
                     // entry now lives in the overlay.
                     let info = match base.get(page) {
-                        Some(seen) => PageInfo {
-                            shard_mask: seen.shard_mask | bit,
-                            home: seen.home,
-                            written: seen.written || write,
-                        },
+                        Some(seen) => {
+                            let mut info = *seen;
+                            info.touch(bit, write, epoch);
+                            info
+                        }
                         None => fresh(resolve()),
                     };
                     overlay.insert(page, info);
                     info
                 }
             }
+        };
+        // Fold the stamp into the bank's high-water tag on whichever
+        // table is authoritative for the page right now.
+        match self {
+            ScanTarget::Base(fp) => fp.tag(page, info.owner_epoch),
+            ScanTarget::Overlay { overlay, .. } => overlay.tag(page, info.owner_epoch),
         }
+        info
     }
 }
 
@@ -1610,23 +2028,33 @@ impl ScanTarget<'_> {
 ///
 /// * the page's footprint is exactly the issuer's shard (the strict
 ///   rule: the walk owns every copy of the page), or
-/// * the access is a load of a page no scanned op has ever stored to
-///   (the read-shared relaxation): a never-written page has no owner
-///   in any directory and no dirty copy anywhere, so the walk touches
-///   only the issuer's own caches and the in-shard home's state — a
-///   local read with no foreign owner performs no directory transition
-///   at all, a remote-within-shard fetch charges the in-shard home's
-///   resources and adds a sharer bit there, and foreign shards'
-///   contained ops can observe neither. Earlier cross-shard readers
-///   of the page all executed serially before this window (they were
-///   blocking for their own shards), so the frozen state the walk
-///   observes equals the serial execution's.
+/// * the access is a load of a page whose writer set is contained in
+///   the issuer's shard (the ownership relaxation). With no writers
+///   the page has no owner in any directory and no dirty copy
+///   anywhere; with writers all in the issuing shard, every owner and
+///   every dirty copy lives inside that shard too (each past foreign
+///   access was blocking — the home is here — and executed serially,
+///   leaving foreign copies at most clean-shared). Either way the
+///   load's walk touches only the issuer's own caches and the in-shard
+///   home's state: a hit or an owner fetch stays in-shard, and adding
+///   a sharer bit charges the in-shard home — loads never invalidate
+///   or downgrade foreign clean sharers, so foreign shards' contained
+///   ops can observe nothing. Stores get no such relaxation: a store
+///   must invalidate every foreign copy, so it is contained only under
+///   the strict rule.
+///
+/// The `epoch` stamps `PageInfo::owner_epoch` on every writer-set
+/// transition — the per-page fence the log engine's exactness argument
+/// is phrased in (`docs/DETERMINISM.md`): an access that would cross
+/// an ownership boundary is, by this rule, blocking, so it executes at
+/// a fence *after* the epoch that owns the transition.
 fn classify(
     op: &TraceOp,
     target: &mut ScanTarget<'_>,
     machine: &mut Machine,
     shard_of_node: &[u8],
     cpus_per_node: u16,
+    epoch: u64,
 ) -> Class {
     match *op {
         TraceOp::Think { .. } => Class::Contained,
@@ -1636,18 +2064,45 @@ fn classify(
             let shard = shard_of_node[node] as usize;
             let bit = 1u32 << shard;
             let page = va.vpage();
-            let info = target.update(page, bit, write, || {
+            let info = target.update(page, bit, write, epoch, || {
                 machine.pages_mut().home_on_touch(page, NodeId(node as u8))
             });
             let home_shard = shard_of_node[info.home.0 as usize] as usize;
             let exclusive = info.shard_mask == bit;
-            let read_shared = !write && !info.written;
-            if home_shard == shard && (exclusive || read_shared) {
+            let own_writers = !write && info.writer_mask & !bit == 0;
+            if home_shard == shard && (exclusive || own_writers) {
                 Class::Contained
             } else {
                 Class::Blocking
             }
         }
+    }
+}
+
+/// Closes the span `range` into a log descriptor: spans past the
+/// parallel threshold take the scan's per-shard buckets with them
+/// (the slots are left empty for the next span); smaller spans drop
+/// the buckets and replay batched at consumption.
+fn close_span(
+    range: Range<usize>,
+    fence: Option<usize>,
+    per_cpu_ops: usize,
+    threshold: usize,
+    buckets: &mut [Bucket],
+) -> SpanDesc {
+    let taken = if per_cpu_ops >= threshold {
+        buckets.iter_mut().map(std::mem::take).collect()
+    } else {
+        for bucket in buckets.iter_mut() {
+            bucket.clear();
+        }
+        Vec::new()
+    };
+    SpanDesc {
+        range,
+        fence,
+        per_cpu_ops,
+        buckets: taken,
     }
 }
 
@@ -1657,24 +2112,12 @@ fn classify(
 /// unset means "no intra-machine sharding requested". A value that is
 /// *set but not a usable shard count* — `0` or anything unparsable —
 /// is a misconfiguration, and both shapes of it behave identically:
-/// a warning is printed to stderr (once per process) and sharding is
-/// disabled (`None`). Counts above [`MAX_SHARDS`] clamp down.
+/// a warning is printed to stderr (once per process, via the shared
+/// [`env_usize`](crate::experiment::env_usize) contract) and sharding
+/// is disabled (`None`). Counts above [`MAX_SHARDS`] clamp down.
 #[must_use]
 pub fn shards_from_env() -> Option<usize> {
-    let raw = std::env::var("RNUMA_SHARDS").ok()?;
-    match raw.parse::<usize>() {
-        Ok(n) if n >= 1 => Some(n.min(MAX_SHARDS)),
-        _ => {
-            static WARNED: std::sync::Once = std::sync::Once::new();
-            WARNED.call_once(|| {
-                eprintln!(
-                    "rnuma: RNUMA_SHARDS={raw:?} is not a shard count \
-                     (want 1..={MAX_SHARDS}); sharding disabled"
-                );
-            });
-            None
-        }
-    }
+    crate::experiment::env_usize("RNUMA_SHARDS", None, MAX_SHARDS)
 }
 
 /// The per-window watchdog deadline requested via
@@ -1683,24 +2126,12 @@ pub fn shards_from_env() -> Option<usize> {
 /// Unset means "no watchdog" (the default: barriers wait indefinitely,
 /// as a correct pool always replies). A value that is set but not a
 /// usable deadline — `0` or anything unparsable — is a
-/// misconfiguration: a warning is printed to stderr (once per process)
-/// and the watchdog stays off, mirroring `RNUMA_SHARDS` semantics.
+/// misconfiguration: a warning is printed to stderr (once per process,
+/// via the shared [`env_usize`](crate::experiment::env_usize)
+/// contract) and the watchdog stays off.
 #[must_use]
 pub fn window_deadline_from_env() -> Option<u64> {
-    let raw = std::env::var("RNUMA_WINDOW_DEADLINE_MS").ok()?;
-    match raw.parse::<u64>() {
-        Ok(ms) if ms > 0 => Some(ms),
-        _ => {
-            static WARNED: std::sync::Once = std::sync::Once::new();
-            WARNED.call_once(|| {
-                eprintln!(
-                    "rnuma: RNUMA_WINDOW_DEADLINE_MS={raw:?} is not a positive \
-                     millisecond count; window watchdog disabled"
-                );
-            });
-            None
-        }
-    }
+    crate::experiment::env_usize("RNUMA_WINDOW_DEADLINE_MS", None, usize::MAX).map(|ms| ms as u64)
 }
 
 /// The footprint-directory sub-shard count requested via
@@ -1709,26 +2140,13 @@ pub fn window_deadline_from_env() -> Option<u64> {
 /// Unset means "use the default" ([`DEFAULT_DIR_SHARDS`]). Banking is
 /// pure layout — any count produces bit-identical results — so a value
 /// that is set but not usable (`0` or unparsable) is a
-/// misconfiguration: a warning is printed to stderr (once per process)
-/// and the default applies, mirroring `RNUMA_SHARDS` semantics. Counts
-/// above [`MAX_DIR_SHARDS`] clamp down.
+/// misconfiguration: a warning is printed to stderr (once per process,
+/// via the shared [`env_usize`](crate::experiment::env_usize)
+/// contract) and the default applies. Counts above [`MAX_DIR_SHARDS`]
+/// clamp down.
 #[must_use]
 pub fn dir_shards_from_env() -> Option<usize> {
-    let raw = std::env::var("RNUMA_DIR_SHARDS").ok()?;
-    match raw.parse::<usize>() {
-        Ok(n) if n >= 1 => Some(n.min(MAX_DIR_SHARDS)),
-        _ => {
-            static WARNED: std::sync::Once = std::sync::Once::new();
-            WARNED.call_once(|| {
-                eprintln!(
-                    "rnuma: RNUMA_DIR_SHARDS={raw:?} is not a sub-shard count \
-                     (want 1..={MAX_DIR_SHARDS}); using the default of \
-                     {DEFAULT_DIR_SHARDS}"
-                );
-            });
-            None
-        }
-    }
+    crate::experiment::env_usize("RNUMA_DIR_SHARDS", None, MAX_DIR_SHARDS)
 }
 
 /// Whether `RNUMA_PIPELINE` enables pipelined window execution
@@ -1757,6 +2175,53 @@ pub fn pipeline_from_env() -> bool {
             });
             true
         }
+    }
+}
+
+/// The window scheduler requested via `RNUMA_EXEC`, if any.
+///
+/// Unset means "no explicit engine choice". A value that is set but
+/// not an engine name is a misconfiguration: a warning is printed to
+/// stderr (once per process) and the choice falls through to the
+/// default resolution (`RNUMA_PIPELINE` if set, else the log engine) —
+/// mirroring the other `RNUMA_*` contracts.
+#[must_use]
+pub fn exec_from_env() -> Option<ExecEngine> {
+    let raw = std::env::var("RNUMA_EXEC").ok()?;
+    match raw.as_str() {
+        "log" => Some(ExecEngine::Log),
+        "pipeline" | "pipelined" => Some(ExecEngine::Pipeline),
+        "barrier" => Some(ExecEngine::Barrier),
+        _ => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "rnuma: RNUMA_EXEC={raw:?} is not an engine \
+                     (want log, pipeline, or barrier); using the default"
+                );
+            });
+            None
+        }
+    }
+}
+
+/// Resolves the engine a fresh [`ShardedMachine`] executes with:
+/// `RNUMA_EXEC` wins when set to a valid engine; otherwise a *set*
+/// `RNUMA_PIPELINE` keeps its legacy two-way meaning; otherwise the
+/// log engine (the default).
+#[must_use]
+pub fn engine_from_env() -> ExecEngine {
+    if let Some(engine) = exec_from_env() {
+        return engine;
+    }
+    if std::env::var_os("RNUMA_PIPELINE").is_some() {
+        if pipeline_from_env() {
+            ExecEngine::Pipeline
+        } else {
+            ExecEngine::Barrier
+        }
+    } else {
+        ExecEngine::Log
     }
 }
 
@@ -2201,19 +2666,32 @@ mod tests {
         for (n, parallel) in [(threshold, 1u64), (threshold - 1, 0u64)] {
             let ops = window(n);
             let serial = serial_replay_on(config(), &ops);
-            let mut sm = ShardedMachine::with_pool(config(), 4, test_pool()).unwrap();
-            sm.set_parallel_threshold(threshold);
-            sm.run_trace(&ops);
-            assert!(serial.replay_eq(&sm.metrics()), "diverged at {n} ops");
-            let stats = sm.stats();
-            assert_eq!(stats.windows, 1, "{n} ops: {stats:?}");
-            assert_eq!(
-                stats.parallel_windows, parallel,
-                "threshold must be inclusive at {n} ops: {stats:?}"
-            );
-            assert_eq!(stats.contained_ops, n as u64);
-            // ArmFirstTouch + Barrier serialize between windows.
-            assert_eq!(stats.serialized_ops, 2);
+            for engine in [ExecEngine::Log, ExecEngine::Pipeline, ExecEngine::Barrier] {
+                let mut sm = ShardedMachine::with_pool(config(), 4, test_pool()).unwrap();
+                sm.set_parallel_threshold(threshold);
+                sm.set_engine(engine);
+                sm.run_trace(&ops);
+                assert!(
+                    serial.replay_eq(&sm.metrics()),
+                    "{engine} diverged at {n} ops"
+                );
+                let stats = sm.stats();
+                assert_eq!(stats.windows, 1, "{engine}, {n} ops: {stats:?}");
+                assert_eq!(
+                    stats.parallel_windows, parallel,
+                    "threshold must be inclusive at {n} ops on {engine}: {stats:?}"
+                );
+                assert_eq!(stats.contained_ops, n as u64);
+                if engine == ExecEngine::Log {
+                    // The log engine folds the arm into the scan; only
+                    // the barrier fences (and serializes).
+                    assert_eq!(stats.serialized_ops, 1, "{engine}: {stats:?}");
+                    assert_eq!(stats.arms_folded, 1, "{engine}: {stats:?}");
+                } else {
+                    // ArmFirstTouch + Barrier serialize between windows.
+                    assert_eq!(stats.serialized_ops, 2, "{engine}: {stats:?}");
+                }
+            }
         }
     }
 
@@ -2315,47 +2793,67 @@ mod tests {
         assert!(m.take_trace().is_empty());
     }
 
-    /// The read-shared relaxation: loads of a never-written page stay
-    /// contained for the home shard even after foreign shards read it
-    /// — and revert to blocking the moment any op stores to the page.
-    /// Exact op-by-op accounting, plus bit-identity to serial.
+    /// The ownership relaxation: loads of a page stay contained for the
+    /// home shard as long as every writer of the page is that shard —
+    /// through foreign reads *and* through the home shard's own stores
+    /// — and revert to blocking the moment a foreign shard stores to
+    /// it. Exact op-by-op accounting, plus bit-identity to serial.
     #[test]
-    fn read_shared_pages_relax_containment_until_first_write() {
+    fn ownership_relaxes_home_loads_until_a_foreign_store() {
         let p = Va(1 << 20); // first-touched by CPU 0 -> homed in shard 0
         let read = |cpu: u16| TraceOp::Access {
             cpu: CpuId(cpu),
             va: p,
             write: false,
         };
+        let write = |cpu: u16| TraceOp::Access {
+            cpu: CpuId(cpu),
+            va: p,
+            write: true,
+        };
         let mut ops = vec![TraceOp::ArmFirstTouch];
         ops.push(read(0)); // exclusive: contained
         ops.push(read(28)); // shard 3 reads a shard-0 page: blocking
         for i in 0..100u16 {
-            ops.push(read(i % 8)); // shard 0 re-reads: relaxed-contained
+            ops.push(read(i % 8)); // shard 0 re-reads (no writers): contained
         }
-        ops.push(TraceOp::Access {
-            cpu: CpuId(0),
-            va: p,
-            write: true,
-        }); // first store: blocking (footprint spans shards)
+        ops.push(write(0)); // store: blocking (footprint spans shards)
         for _ in 0..10 {
-            ops.push(read(0)); // written page, shared footprint: blocking
+            ops.push(read(0)); // writers ⊆ {shard 0}: still contained
+        }
+        ops.push(write(28)); // foreign store: blocking; ownership moves
+        for _ in 0..10 {
+            ops.push(read(0)); // foreign writer now: blocking
         }
         let serial = serial_replay_on(config(), &ops);
         let mut sm = ShardedMachine::with_pool(config(), 4, test_pool()).unwrap();
         sm.set_parallel_threshold(1);
+        sm.set_pipelined(true);
         sm.run_trace(&ops);
         assert!(serial.replay_eq(&sm.metrics()));
         let stats = sm.stats();
         assert_eq!(
-            stats.contained_ops, 101,
-            "the 100 home-shard re-reads (plus the first touch) must be \
-             contained: {stats:?}"
+            stats.contained_ops, 111,
+            "first touch + 100 no-writer re-reads + 10 own-writer \
+             re-reads must be contained: {stats:?}"
         );
         assert_eq!(
-            stats.serialized_ops, 13,
-            "arm + foreign read + store + 10 post-store reads serialize: {stats:?}"
+            stats.serialized_ops, 14,
+            "arm + foreign read + 2 stores + 10 foreign-owned reads \
+             serialize: {stats:?}"
         );
+
+        // The log engine agrees op-for-op; only the arm stops
+        // serializing (it folds into the scan).
+        let mut lg = ShardedMachine::with_pool(config(), 4, test_pool()).unwrap();
+        lg.set_parallel_threshold(1);
+        lg.set_engine(ExecEngine::Log);
+        lg.run_trace(&ops);
+        assert!(serial.replay_eq(&lg.metrics()));
+        let stats = lg.stats();
+        assert_eq!(stats.contained_ops, 111, "log engine: {stats:?}");
+        assert_eq!(stats.serialized_ops, 13, "log engine: {stats:?}");
+        assert_eq!(stats.arms_folded, 1, "log engine: {stats:?}");
     }
 
     /// The pipelined engine overlaps next-window scans with pool
@@ -2428,6 +2926,7 @@ mod tests {
         let serial = serial_replay_on(config(), &ops);
         let mut sm = ShardedMachine::with_pool(config(), 4, test_pool()).unwrap();
         sm.set_parallel_threshold(1);
+        sm.set_pipelined(true);
         sm.set_fault_plan(Some(FaultPlan::parse("panic_before@0,seed=5").unwrap()));
         sm.run_trace(&ops);
         assert!(serial.replay_eq(&sm.metrics()));
@@ -2438,5 +2937,142 @@ mod tests {
             "recovery must discard the in-flight prefetch: {stats:?}"
         );
         assert!(stats.scans_prefetched > stats.scans_invalidated);
+    }
+
+    /// The log engine consumes the shared span log bit-identically to
+    /// serial, folds every arm into the scan (no arm ever serializes),
+    /// keeps the scan entirely off the execution path (nothing
+    /// prefetches, nothing invalidates), and advances every shard's
+    /// consumption cursor through the whole log.
+    #[test]
+    fn log_engine_folds_arms_and_consumes_cursors() {
+        let ops = mixed_trace(128, 16);
+        let serial = serial_replay_on(config(), &ops);
+        let mut sm = ShardedMachine::with_pool(config(), 4, test_pool()).unwrap();
+        sm.set_parallel_threshold(32);
+        sm.set_engine(ExecEngine::Log);
+        assert_eq!(sm.engine(), ExecEngine::Log);
+        sm.run_trace(&ops);
+        assert!(serial.replay_eq(&sm.metrics()));
+        let stats = sm.stats();
+        assert_eq!(stats.arms_folded, 1, "{stats:?}");
+        assert_eq!(stats.windows, stats.log_spans, "{stats:?}");
+        assert!(
+            stats.log_spans >= 1 && stats.parallel_windows >= 1,
+            "{stats:?}"
+        );
+        assert_eq!(stats.scans_prefetched, 0, "{stats:?}");
+        assert_eq!(stats.scans_invalidated, 0, "{stats:?}");
+        // Every serialized op was a true fence (never an arm).
+        assert_eq!(stats.log_fences, stats.serialized_ops, "{stats:?}");
+        let cursors = sm.span_cursors();
+        assert!(
+            cursors.iter().all(|&c| c == cursors[0]) && cursors[0] >= 1,
+            "all shards must have consumed the whole log: {cursors:?}"
+        );
+        assert!(sm.cursor_rollbacks().iter().all(|&r| r == 0));
+    }
+
+    /// Log engine vs. the two lockstep references when an arm is the
+    /// only thing separating two contained runs: the lockstep engines
+    /// fence at the arm (two windows), the log engine folds it and
+    /// forms one merged span — all bit-identical to serial.
+    #[test]
+    fn log_engine_merges_windows_across_arms() {
+        let mut ops = vec![TraceOp::ArmFirstTouch];
+        let run_of = |base: u64| {
+            (0..64u64).map(move |i| TraceOp::Access {
+                cpu: CpuId((i % 4) as u16),
+                va: Va((1 << 20) + base + (i % 128) * 32),
+                write: false,
+            })
+        };
+        ops.extend(run_of(0));
+        ops.push(TraceOp::ArmFirstTouch); // re-arm between the two runs
+        ops.extend(run_of(8192));
+        ops.push(TraceOp::Barrier);
+        let serial = serial_replay_on(config(), &ops);
+        let run = |engine: ExecEngine| {
+            let mut sm = ShardedMachine::with_pool(config(), 4, test_pool()).unwrap();
+            sm.set_parallel_threshold(32);
+            sm.set_engine(engine);
+            sm.run_trace(&ops);
+            assert!(
+                serial.replay_eq(&sm.metrics()),
+                "{engine} diverged from serial"
+            );
+            sm.stats()
+        };
+        let log = run(ExecEngine::Log);
+        let pipeline = run(ExecEngine::Pipeline);
+        let barrier = run(ExecEngine::Barrier);
+        assert_eq!(log.arms_folded, 2, "{log:?}");
+        assert_eq!(pipeline.windows, barrier.windows);
+        assert_eq!(
+            barrier.windows, 2,
+            "lockstep engines fence at the mid-stream arm: {barrier:?}"
+        );
+        assert_eq!(
+            log.windows, 1,
+            "the folded arm must merge the two runs into one span: {log:?}"
+        );
+        assert_eq!(log.contained_ops, barrier.contained_ops);
+        // Lockstep engines serialize both arms + the barrier; the log
+        // engine serializes only the barrier.
+        assert_eq!(log.serialized_ops, 1);
+        assert_eq!(barrier.serialized_ops, 3);
+    }
+
+    /// Log-engine fault recovery is per-cursor: an injected worker
+    /// panic rolls back exactly the faulted shard's consumption to its
+    /// pre-dispatch snapshot — every other shard's completed spans
+    /// stand — and the run still replays bit-identically.
+    #[test]
+    fn log_fault_rolls_back_only_the_faulted_cursor() {
+        let ops = mixed_trace(64, 8);
+        let serial = serial_replay_on(config(), &ops);
+        let mut sm = ShardedMachine::with_pool(config(), 4, test_pool()).unwrap();
+        sm.set_parallel_threshold(1);
+        sm.set_engine(ExecEngine::Log);
+        sm.set_fault_plan(Some(FaultPlan::parse("panic_before@0,seed=5").unwrap()));
+        sm.run_trace(&ops);
+        assert!(serial.replay_eq(&sm.metrics()));
+        let stats = sm.stats();
+        assert_eq!(stats.recovered_jobs, 1, "fault never fired: {stats:?}");
+        assert_eq!(
+            stats.scans_invalidated, 0,
+            "the log engine has no prefetch to discard: {stats:?}"
+        );
+        let rollbacks = sm.cursor_rollbacks();
+        assert_eq!(
+            rollbacks.iter().filter(|&&r| r > 0).count(),
+            1,
+            "exactly one shard's cursor must roll back: {rollbacks:?}"
+        );
+        assert_eq!(rollbacks.iter().sum::<u64>(), stats.recovered_jobs);
+        // Consumption still completed: every cursor reached the end.
+        let cursors = sm.span_cursors();
+        assert!(cursors.iter().all(|&c| c == cursors[0]));
+    }
+
+    /// Engine selection plumbing: a fresh machine picks up the
+    /// environment's resolution, and the legacy `set_pipelined` shim
+    /// maps onto the two lockstep engines. (Env-mutation scenarios
+    /// live in `tests/sharded_env.rs`, which owns the process env.)
+    #[test]
+    fn engine_selector_and_legacy_shim_agree() {
+        let mut sm = ShardedMachine::with_pool(config(), 2, test_pool()).unwrap();
+        assert_eq!(sm.engine(), engine_from_env());
+        sm.set_pipelined(true);
+        assert_eq!(sm.engine(), ExecEngine::Pipeline);
+        assert!(sm.pipelined());
+        sm.set_pipelined(false);
+        assert_eq!(sm.engine(), ExecEngine::Barrier);
+        assert!(!sm.pipelined());
+        sm.set_engine(ExecEngine::Log);
+        assert!(!sm.pipelined());
+        assert_eq!(ExecEngine::Log.to_string(), "log");
+        assert_eq!(ExecEngine::Pipeline.to_string(), "pipeline");
+        assert_eq!(ExecEngine::Barrier.to_string(), "barrier");
     }
 }

@@ -408,10 +408,46 @@ impl ProfileArena {
     }
 }
 
+/// Removes stale spill files left under `dir` by processes that died
+/// without unwinding through [`ProfileBytes::drop`] — a `SweepAbort`
+/// fault, a `panic = "abort"` build, or a kill. Spill names embed the
+/// owning pid (`rnuma-trace-spill-<pid>-<counter>.bin`), so a file is
+/// stale exactly when its pid is not ours and no longer has a live
+/// `/proc/<pid>` entry; live pids (including our own other arenas) are
+/// never touched. Runs on every spilling-arena construction, keeping
+/// the reap races-free without a registry: the worst case is two
+/// processes both observing a dead pid and one `remove_file` losing,
+/// which is harmless.
+fn reap_stale_spills(dir: &std::path::Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return; // unusable dir is spill_file's problem to warn about
+    };
+    let me = std::process::id();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(pid) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("rnuma-trace-spill-"))
+            .and_then(|n| n.strip_suffix(".bin"))
+            .and_then(|n| n.split_once('-'))
+            .filter(|(_, counter)| counter.bytes().all(|b| b.is_ascii_digit()))
+            .and_then(|(pid, _)| pid.parse::<u32>().ok())
+        else {
+            continue; // not one of ours; never delete foreign files
+        };
+        if pid != me && !std::path::Path::new(&format!("/proc/{pid}")).exists() {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
 /// Creates a unique spill file under `dir`. `None` (with a warning,
 /// once per process) when the directory is unusable — a misconfigured
 /// `RNUMA_TRACE_SPILL` must degrade to resident storage, not abort.
+/// Stale spill files from dead processes are reaped first (see
+/// [`reap_stale_spills`]).
 fn spill_file(dir: &std::path::Path) -> Option<(std::fs::File, std::path::PathBuf)> {
+    reap_stale_spills(dir);
     use std::sync::atomic::{AtomicU64, Ordering};
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let name = format!(
@@ -774,6 +810,33 @@ mod tests {
                 .sum();
             assert_eq!(run_total, expect.len() as u64, "runs must tile the segment");
         }
+    }
+
+    /// A spilling arena reaps stale files left by dead processes but
+    /// never touches live-pid spills, foreign files, or its own.
+    #[test]
+    fn stale_spills_are_reaped_on_arena_construction() {
+        let dir = std::env::temp_dir().join(format!("rnuma-reap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Pid far above any real pid_max, guaranteed dead.
+        let stale = dir.join("rnuma-trace-spill-999999999-0.bin");
+        // Our own pid: alive by definition, must survive.
+        let own = dir.join(format!("rnuma-trace-spill-{}-7.bin", std::process::id()));
+        // Not a spill name: never touched.
+        let foreign = dir.join("rnuma-trace-spill-notapid-0.bin");
+        for p in [&stale, &own, &foreign] {
+            std::fs::write(p, b"x").unwrap();
+        }
+        let arena = ProfileArena::new(Some(&dir));
+        assert!(
+            arena.spill_path().is_some(),
+            "arena must spill under {dir:?}"
+        );
+        assert!(!stale.exists(), "dead-pid spill must be reaped");
+        assert!(own.exists(), "live-pid spill must survive");
+        assert!(foreign.exists(), "non-spill names must survive");
+        drop(arena);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -220,9 +220,118 @@ pub fn dir_shard_of(page: VPage, shards: usize) -> usize {
     (x % shards as u64) as usize
 }
 
+/// Per-bank ownership-epoch high-water tags for a [`dir_shard_of`]-
+/// banked page directory.
+///
+/// The sharded executor's footprint directory stamps each page with the
+/// epoch of its last ownership transition; this companion structure
+/// keeps, per *bank*, the maximum such stamp ever recorded — the
+/// coarse summary a consumer can check without walking the bank: if a
+/// shard's log cursor has passed `bank_tag(b)`, no page in bank `b`
+/// has a pending ownership fence ahead of it. Like the banking itself
+/// the tags are layout-only bookkeeping: they summarize per-page
+/// stamps and never influence classification or simulation results.
+///
+/// Tags are monotone (recording is a per-bank `max`) and merge by
+/// bank-wise `max`, mirroring how a prefetch overlay's entries merge
+/// into the base directory.
+#[derive(Clone, Debug)]
+pub struct EpochTags {
+    banks: Vec<u64>,
+}
+
+impl EpochTags {
+    /// Zeroed tags for `banks` sub-shards (minimum 1, matching
+    /// [`dir_shard_of`]'s degenerate single-bank case).
+    #[must_use]
+    pub fn new(banks: usize) -> EpochTags {
+        EpochTags {
+            banks: vec![0; banks.max(1)],
+        }
+    }
+
+    /// Number of banks.
+    #[must_use]
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Folds an ownership stamp for `page` into its bank's tag.
+    #[inline]
+    pub fn record(&mut self, page: VPage, epoch: u64) {
+        let bank = dir_shard_of(page, self.banks.len());
+        self.banks[bank] = self.banks[bank].max(epoch);
+    }
+
+    /// The high-water ownership epoch of one bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bank >= self.banks()`.
+    #[must_use]
+    pub fn bank_tag(&self, bank: usize) -> u64 {
+        self.banks[bank]
+    }
+
+    /// The high-water ownership epoch across all banks.
+    #[must_use]
+    pub fn high_water(&self) -> u64 {
+        self.banks.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Folds `other`'s tags in, bank by bank (bank counts must match —
+    /// tags always accompany a directory of the same banking).
+    pub fn merge_from(&mut self, other: &EpochTags) {
+        debug_assert_eq!(self.banks.len(), other.banks.len());
+        for (dst, src) in self.banks.iter_mut().zip(&other.banks) {
+            *dst = (*dst).max(*src);
+        }
+    }
+
+    /// Resets every tag to zero (bank structure is kept).
+    pub fn clear(&mut self) {
+        self.banks.fill(0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn epoch_tags_track_per_bank_high_water() {
+        let mut tags = EpochTags::new(8);
+        assert_eq!(tags.banks(), 8);
+        assert_eq!(tags.high_water(), 0);
+        for p in 0..64u64 {
+            tags.record(VPage(p), p);
+        }
+        assert_eq!(tags.high_water(), 63);
+        // Each bank's tag is the max epoch of the pages it hosts, and
+        // recording an older epoch never regresses a tag.
+        let hot = VPage(63);
+        let hot_bank = dir_shard_of(hot, 8);
+        let before = tags.bank_tag(hot_bank);
+        tags.record(hot, 1);
+        assert_eq!(tags.bank_tag(hot_bank), before, "tags are monotone");
+        // Merge is a bank-wise max; clear zeroes but keeps the banking.
+        let mut other = EpochTags::new(8);
+        other.record(VPage(0), 1000);
+        tags.merge_from(&other);
+        assert_eq!(tags.high_water(), 1000);
+        tags.clear();
+        assert_eq!((tags.banks(), tags.high_water()), (8, 0));
+    }
+
+    #[test]
+    fn epoch_tags_degenerate_bankings_stay_total() {
+        for banks in [0usize, 1] {
+            let mut tags = EpochTags::new(banks);
+            assert_eq!(tags.banks(), 1, "minimum one bank");
+            tags.record(VPage(u64::MAX), 7);
+            assert_eq!(tags.bank_tag(0), 7);
+        }
+    }
 
     #[test]
     fn dir_shard_assignment_is_total_and_stable() {

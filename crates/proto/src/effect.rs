@@ -30,6 +30,23 @@
 //! prefetched scan that is invalidated by fault recovery is discarded
 //! before it ever reaches bucketing, so no key from a speculative scan
 //! can be emitted at all.
+//!
+//! **Keys stay exact under the shared-log executor too.** The log
+//! engine retires the *global* epoch barrier: spans are scanned
+//! up-front into an append-only log and each shard advances its own
+//! consumption cursor, pausing only at per-page *ownership-epoch*
+//! fences (a page's footprint entry stamps the epoch of its last
+//! writer-set transition; an access that would cross an ownership
+//! boundary is by construction a blocking op, so it sits at a fence
+//! *after* the span that owns the transition). Exactness then rests on
+//! the same two legs as before: `epoch` is the span's position in the
+//! log — fixed at scan time, identical to what the lockstep engines
+//! count one barrier at a time — and `seq` is still the global trace
+//! position, so a span's effects sort identically no matter how far
+//! individual shards had run ahead when they were emitted. Epochs stay
+//! the key's major component precisely so that per-shard consumption
+//! order (which is *not* canonical) can never leak into application
+//! order (which is).
 
 use crate::directory::Directory;
 use rnuma_mem::addr::{NodeId, VBlock};
@@ -127,6 +144,46 @@ mod tests {
         keys.sort_unstable();
         assert_eq!(keys, vec![k(6, 0, 3), k(6, 31, u64::MAX), k(7, 0, 0)]);
         assert!(keys.windows(2).all(|w| w[0].epoch <= w[1].epoch));
+    }
+
+    /// Shards consuming the shared log at different paces emit their
+    /// spans' effects in arbitrary *arrival* order; one sort by the
+    /// canonical key must reassemble the exact serial application
+    /// order across multiple spans — span (epoch) major, then home,
+    /// then global trace position — regardless of which shard ran
+    /// ahead.
+    #[test]
+    fn multi_span_log_consumption_reassembles_canonical_order() {
+        let k = |epoch, home, seq| EffectKey {
+            epoch,
+            home: NodeId(home),
+            seq,
+        };
+        // Shard A ran two spans ahead (epochs 5..=7 at home 0); shard B
+        // lagged in epoch 5 (home 1). Arrival order interleaves them
+        // worst-case: late-epoch effects first, seqs shuffled.
+        let mut arrived = vec![
+            k(7, 0, 900),
+            k(5, 1, 12),
+            k(6, 0, 400),
+            k(5, 0, 30),
+            k(5, 1, 4),
+            k(5, 0, 7),
+            k(6, 0, 350),
+        ];
+        arrived.sort_unstable();
+        assert_eq!(
+            arrived,
+            vec![
+                k(5, 0, 7),
+                k(5, 0, 30),
+                k(5, 1, 4),
+                k(5, 1, 12),
+                k(6, 0, 350),
+                k(6, 0, 400),
+                k(7, 0, 900),
+            ]
+        );
     }
 
     #[test]

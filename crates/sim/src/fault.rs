@@ -74,7 +74,9 @@ impl FaultKind {
     }
 
     fn slot(self) -> usize {
-        KINDS.iter().position(|&k| k == self).unwrap()
+        KINDS.iter().position(|&k| k == self).unwrap_or_else(|| {
+            panic!("FaultKind::{self:?} ({self}) is missing from the KINDS table")
+        })
     }
 
     /// A per-kind salt so the probabilistic streams of different kinds
@@ -422,6 +424,36 @@ mod tests {
         assert!(plan.should_fire(FaultKind::CapturePressure)); // p=1
         assert!(!plan.should_fire(FaultKind::SweepAbort));
         assert!(plan.should_fire(FaultKind::SweepAbort));
+    }
+
+    /// The `KINDS` table and the enum cannot drift: every variant is
+    /// present (so `slot`/`salt` cannot panic), each exactly once, and
+    /// every label round-trips. The match below fails to compile if a
+    /// variant is added without extending this test.
+    #[test]
+    fn kinds_table_is_exhaustive() {
+        for (i, &kind) in KINDS.iter().enumerate() {
+            // Compile-time exhaustiveness: adding a variant breaks this
+            // match until the table (and test) learn about it.
+            match kind {
+                FaultKind::PanicBefore
+                | FaultKind::PanicAfter
+                | FaultKind::Hang
+                | FaultKind::Poison
+                | FaultKind::CapturePressure
+                | FaultKind::SweepAbort => {}
+            }
+            assert_eq!(kind.slot(), i, "{kind} is out of counter order");
+            assert_eq!(
+                FaultKind::from_label(kind.label()),
+                Some(kind),
+                "{kind} label does not round-trip"
+            );
+        }
+        let mut salts: Vec<u64> = KINDS.iter().map(|k| k.salt()).collect();
+        salts.sort_unstable();
+        salts.dedup();
+        assert_eq!(salts.len(), KINDS.len(), "per-kind salts must be distinct");
     }
 
     #[test]

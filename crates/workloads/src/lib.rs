@@ -102,11 +102,21 @@ pub fn by_name(name: &str, scale: Scale) -> Option<Box<dyn Workload>> {
 }
 
 /// Instantiates the full Table-3 suite.
+///
+/// # Panics
+///
+/// Panics, naming the offending entry, if `APP_NAMES` and the
+/// [`by_name`] registry ever drift apart (a bug this crate's
+/// exhaustiveness test also catches at test time).
 #[must_use]
 pub fn suite(scale: Scale) -> Vec<Box<dyn Workload>> {
     APP_NAMES
         .iter()
-        .map(|n| by_name(n, scale).expect("APP_NAMES entries are known"))
+        .map(|n| {
+            by_name(n, scale).unwrap_or_else(|| {
+                panic!("APP_NAMES entry {n:?} is missing from the by_name registry")
+            })
+        })
         .collect()
 }
 
@@ -145,9 +155,32 @@ mod tests {
     #[test]
     fn workload_names_match_registry() {
         for name in APP_NAMES {
-            let w = by_name(name, Scale::Tiny).unwrap();
+            let w = by_name(name, Scale::Tiny)
+                .unwrap_or_else(|| panic!("APP_NAMES entry {name:?} missing from by_name"));
             assert_eq!(w.name(), name);
         }
+    }
+
+    /// `APP_NAMES`, the `by_name` registry, and `input_description`
+    /// cannot drift: the three agree entry-for-entry, names are unique,
+    /// and every registered workload reports itself under its
+    /// registered name. (The registry match has a `_` arm by design —
+    /// unknown names are a `None`, not a panic — so drift is pinned
+    /// here rather than by the compiler.)
+    #[test]
+    fn registry_tables_are_exhaustive_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for name in APP_NAMES {
+            assert!(seen.insert(name), "APP_NAMES entry {name:?} duplicated");
+            let w = by_name(name, Scale::Tiny)
+                .unwrap_or_else(|| panic!("APP_NAMES entry {name:?} missing from by_name"));
+            assert_eq!(w.name(), name, "workload self-name drifted for {name:?}");
+            assert!(
+                input_description(name).is_some(),
+                "APP_NAMES entry {name:?} missing from input_description"
+            );
+        }
+        assert_eq!(suite(Scale::Tiny).len(), APP_NAMES.len());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use rnuma::config::MachineConfig;
 use rnuma::experiment::{run_sweep_journaled, run_traced, SweepAbort, TraceStore};
 use rnuma::journal::Journal;
-use rnuma::shard::{ShardPool, ShardedMachine, TraceOp};
+use rnuma::shard::{ExecEngine, ShardPool, ShardedMachine, TraceOp};
 use rnuma_sim::fault::{FaultKind, FaultPlan};
 use rnuma_workloads::{by_name, Scale};
 use std::panic::AssertUnwindSafe;
@@ -257,6 +257,50 @@ fn pipelined_poison_never_speculates() {
     assert_eq!(stats.scans_invalidated, 0);
 }
 
+/// Shared-log drill: a worker panic under the log engine rolls back
+/// only the faulted shard's consumption cursor — the other shards'
+/// progress through the span log survives the recovery — and the run
+/// stays bit-identical on every figure-grid configuration. The log
+/// engine never speculates, so unlike the pipelined drills there is no
+/// prefetched scan to invalidate.
+#[test]
+fn log_fault_rolls_back_only_the_faulted_cursor_on_the_grid() {
+    let configs = support::figure_configs();
+    let trace = trace_on(configs[0]);
+    let mut store = TraceStore::new();
+    let id = store.insert("em3d", configs[0], &trace);
+    for &config in &configs {
+        let reference = store.replay_serial(id, config);
+        for spec in ["panic_before@0,seed=5", "panic_after@0,seed=5"] {
+            let plan = FaultPlan::parse(spec).expect("specs above are well-formed");
+            let mut sharded = forced_sharded(config, Arc::new(ShardPool::new(2)));
+            sharded.set_engine(ExecEngine::Log);
+            sharded.set_fault_plan(Some(plan));
+            sharded.run_trace(&trace);
+            assert!(
+                reference.metrics.replay_eq(&sharded.metrics()),
+                "log metrics diverged under plan {spec:?} on {}",
+                config.protocol
+            );
+            let stats = sharded.stats();
+            assert_eq!(stats.recovered_jobs, 1, "plan {spec:?} fires exactly once");
+            assert_eq!(stats.scans_invalidated, 0, "log engine never speculates");
+            let rollbacks = sharded.cursor_rollbacks();
+            assert_eq!(
+                rollbacks.iter().filter(|&&r| r > 0).count(),
+                1,
+                "exactly the faulted shard's cursor rolls back: {rollbacks:?}"
+            );
+            assert_eq!(rollbacks.iter().sum::<u64>(), stats.recovered_jobs);
+            let cursors = sharded.span_cursors();
+            assert!(
+                cursors.iter().all(|&c| c == cursors[0] && c >= 1),
+                "recovery must re-consume the rolled-back span: {cursors:?}"
+            );
+        }
+    }
+}
+
 /// Capture-time allocation pressure downgrades trace interning to
 /// verbatim storage — more resident ops, identical replay results.
 #[test]
@@ -293,9 +337,65 @@ fn capture_pressure_degrades_interning_not_results() {
     }
 }
 
+/// The spill-leak drill: `RNUMA_TRACE_SPILL` profile files must not
+/// outlive their store. An injected `abort@0` that unwinds past a
+/// spilling store drops the file on the way out; a process *killed*
+/// without unwinding leaves its file behind (simulated by a dead-pid
+/// spill planted in the directory), and the next spilling store reaps
+/// it at construction. Either way the directory ends clean.
+#[test]
+fn abort_drill_leaves_no_spill_file_behind() {
+    let dir = std::env::temp_dir().join(format!("rnuma-spill-drill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // A sweep killed mid-run (no unwind) leaks its pid-named spill
+    // file; pid 999999999 is far above any real pid_max, so this file
+    // is exactly what such a corpse leaves behind.
+    let stale = dir.join("rnuma-trace-spill-999999999-0.bin");
+    std::fs::write(&stale, b"leak").unwrap();
+
+    let configs = support::figure_configs();
+    let trace = trace_on(configs[0]);
+    let mut store = TraceStore::spilled_to(&dir);
+    assert!(
+        !stale.exists(),
+        "constructing a spilling store must reap dead processes' files"
+    );
+    let id = store.insert("em3d", configs[0], &trace);
+    assert!(
+        store.spill_path().is_some(),
+        "store must spill under {dir:?}"
+    );
+    assert!(store.spilled_bytes() > 0, "capture never reached the spill");
+    // Replay reads back through the spill file before the crash.
+    let _ = store.replay_serial(id, configs[0]);
+
+    // The abort@0 crash drill: the injected panic unwinds past the
+    // store, whose teardown must take the spill file with it.
+    let abort = SweepAbort::with_plan(Some(FaultPlan::new(0).at(FaultKind::SweepAbort, 0)));
+    let crashed = std::panic::catch_unwind(AssertUnwindSafe(move || {
+        let _store = store;
+        abort.after_cell();
+    }));
+    assert!(crashed.is_err(), "the injected abort did not fire");
+
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok()?.file_name().into_string().ok())
+        .filter(|n| n.starts_with("rnuma-trace-spill-"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "abort drill left spill files behind: {leftovers:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The checkpoint/resume drill: a sweep killed mid-run by an injected
 /// abort, resumed from its journal, produces a grid bit-identical to a
 /// clean uninterrupted sweep — without re-simulating journaled cells.
+/// The resumed grid is then differentially pinned against a sharded
+/// re-execution under every engine: a journal restore is bit-identical
+/// to log, pipelined, and barrier execution alike.
 #[test]
 fn journal_resume_is_bit_identical_to_clean_sweep() {
     let dir = std::env::temp_dir().join(format!("rnuma-fault-recovery-{}", std::process::id()));
@@ -346,6 +446,24 @@ fn journal_resume_is_bit_identical_to_clean_sweep() {
             "resumed sweep diverged from clean on {}",
             r.protocol
         );
+    }
+
+    // Every engine agrees with the resumed grid: cells restored from
+    // the journal are bit-identical to sharded re-execution of the
+    // same stream under log, pipelined, and barrier consumption.
+    let trace = trace_on(configs[0]);
+    for engine in [ExecEngine::Log, ExecEngine::Pipeline, ExecEngine::Barrier] {
+        for r in &resumed {
+            let mut sharded = forced_sharded(r.config, Arc::new(ShardPool::new(2)));
+            sharded.set_fault_plan(None);
+            sharded.set_engine(engine);
+            sharded.run_trace(&trace);
+            assert!(
+                r.metrics.replay_eq(&sharded.metrics()),
+                "{engine} re-execution diverged from the resumed journal on {}",
+                r.protocol
+            );
+        }
     }
 
     let _ = std::fs::remove_dir_all(&dir);

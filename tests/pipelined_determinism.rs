@@ -1,11 +1,13 @@
-//! The cross-engine differential suite pinning the pipelined executor:
-//! the pipelined engine (scan of window N+1 overlapped with execution
-//! of window N), the barrier-sharded engine (`RNUMA_PIPELINE=0`
-//! semantics), and the serial machine must agree bit-for-bit across
-//! the paper's figure grid and on adversarial random reference
-//! streams — at every shard count and every directory sub-shard
-//! (bank) count. Directory banking (`RNUMA_DIR_SHARDS`) is pure
-//! layout and must never be visible in results.
+//! The cross-engine differential suite pinning the sharded executors:
+//! the shared-log engine (up-front span scan, per-shard consumption
+//! cursors, no global epoch barrier), the pipelined engine (scan of
+//! window N+1 overlapped with execution of window N), the
+//! barrier-sharded engine (`RNUMA_EXEC=barrier` semantics), and the
+//! serial machine must agree bit-for-bit across the paper's figure
+//! grid and on adversarial random reference streams — at every shard
+//! count and every directory sub-shard (bank) count. Directory banking
+//! (`RNUMA_DIR_SHARDS`) is pure layout and must never be visible in
+//! results.
 //!
 //! See `docs/DETERMINISM.md` for the execution model these tests
 //! enforce.
@@ -13,7 +15,7 @@
 use proptest::prelude::*;
 use rnuma::config::{MachineConfig, Protocol};
 use rnuma::experiment::run_traced;
-use rnuma::shard::{ShardedMachine, TraceOp};
+use rnuma::shard::{ExecEngine, ShardedMachine, TraceOp};
 use rnuma::Machine;
 use rnuma_mem::addr::{CpuId, Va};
 use rnuma_workloads::{by_name, Scale, APP_NAMES};
@@ -22,10 +24,13 @@ use rnuma_workloads::{by_name, Scale, APP_NAMES};
 mod support;
 use support::{figure_protocols, forced_pool};
 
-/// Replays `trace` on both engines at each `(shards, banks)` point and
-/// asserts bit-identity with the serial reference, plus the engines'
-/// own invariants: the barrier engine never prefetches a scan, and a
-/// fault-free pipelined run never invalidates one.
+const ENGINES: [ExecEngine; 3] = [ExecEngine::Log, ExecEngine::Pipeline, ExecEngine::Barrier];
+
+/// Replays `trace` on all three engines at each `(shards, banks)` point
+/// and asserts bit-identity with the serial reference, plus the
+/// engines' own invariants: the barrier engine never prefetches a scan,
+/// a fault-free pipelined run never invalidates one, and the log engine
+/// does neither — its spans are scanned up-front, never speculatively.
 fn assert_engines_match_serial(
     label: &str,
     config: MachineConfig,
@@ -36,14 +41,13 @@ fn assert_engines_match_serial(
 ) {
     for &shards in shard_counts {
         for &banks in bank_counts {
-            for pipelined in [true, false] {
+            for engine in ENGINES {
                 let mut sm =
                     ShardedMachine::with_pool(config, shards, forced_pool()).expect("valid config");
                 sm.set_parallel_threshold(64);
                 sm.set_dir_shards(banks);
-                sm.set_pipelined(pipelined);
+                sm.set_engine(engine);
                 sm.run_trace(trace);
-                let engine = if pipelined { "pipelined" } else { "barrier" };
                 assert!(
                     reference.replay_eq(&sm.metrics()),
                     "{label}: {engine} engine diverged at {shards} shards, {banks} banks\n\
@@ -52,16 +56,26 @@ fn assert_engines_match_serial(
                     sm.metrics()
                 );
                 let stats = sm.stats();
-                if pipelined {
-                    assert_eq!(
+                match engine {
+                    ExecEngine::Log => {
+                        assert_eq!(
+                            (stats.scans_prefetched, stats.scans_invalidated),
+                            (0, 0),
+                            "{label}: log engine speculated a scan"
+                        );
+                        assert_eq!(
+                            stats.windows, stats.log_spans,
+                            "{label}: log engine ran a window outside the log"
+                        );
+                    }
+                    ExecEngine::Pipeline => assert_eq!(
                         stats.scans_invalidated, 0,
                         "{label}: fault-free pipelined run discarded a scan"
-                    );
-                } else {
-                    assert_eq!(
+                    ),
+                    ExecEngine::Barrier => assert_eq!(
                         stats.scans_prefetched, 0,
                         "{label}: barrier engine prefetched a scan"
-                    );
+                    ),
                 }
             }
         }
@@ -69,9 +83,9 @@ fn assert_engines_match_serial(
 }
 
 /// The full figure grid: every Table-3 application on every finite
-/// protocol, pipelined vs. barrier vs. serial at 2 and 4 shards,
-/// bit-identical. Banking stays at the default here; the bank axis
-/// gets its own sweep below.
+/// protocol, log vs. pipelined vs. barrier vs. serial at 2 and 4
+/// shards, bit-identical. Banking stays at the default here; the bank
+/// axis gets its own sweep below.
 #[test]
 fn every_app_and_protocol_is_engine_agnostic() {
     let [_, finite @ ..] = figure_protocols();
@@ -93,7 +107,7 @@ fn every_app_and_protocol_is_engine_agnostic() {
 }
 
 /// Directory banking is pure layout: sweeping the sub-shard count
-/// across {1, 3, 8} on both engines changes nothing observable,
+/// across {1, 3, 8} on all three engines changes nothing observable,
 /// including the ideal (infinite block cache) baseline every figure
 /// normalizes to.
 #[test]
@@ -126,15 +140,15 @@ fn pipelined_engine_overlaps_and_matches_barrier_stats() {
     let mut w = by_name("em3d", Scale::Tiny).expect("known app");
     let (_, trace) = run_traced(config, &mut w);
 
-    let run = |pipelined: bool| {
+    let run = |engine: ExecEngine| {
         let mut sm = ShardedMachine::with_pool(config, 4, forced_pool()).expect("valid config");
         sm.set_parallel_threshold(64);
-        sm.set_pipelined(pipelined);
+        sm.set_engine(engine);
         sm.run_trace(&trace);
         sm.stats()
     };
-    let piped = run(true);
-    let barrier = run(false);
+    let piped = run(ExecEngine::Pipeline);
+    let barrier = run(ExecEngine::Barrier);
 
     assert!(piped.scans_prefetched > 0, "no scan was ever overlapped");
     assert_eq!(piped.scans_invalidated, 0);
@@ -142,6 +156,39 @@ fn pipelined_engine_overlaps_and_matches_barrier_stats() {
     assert_eq!(piped.contained_ops, barrier.contained_ops);
     assert_eq!(piped.serialized_ops, barrier.serialized_ops);
     assert_eq!(piped.parallel_windows, barrier.parallel_windows);
+}
+
+/// The log engine actually retires barriers on the figure grid: it
+/// folds every `ArmFirstTouch` into the scan instead of fencing, so it
+/// serializes exactly `arms_folded` fewer ops than the barrier engine
+/// while containing the identical op set, and all its shards consume
+/// the full log (uniform cursors, no rollbacks on a fault-free run).
+#[test]
+fn log_engine_retires_arm_barriers_on_the_figure_grid() {
+    let config = MachineConfig::paper_base(Protocol::paper_rnuma());
+    let mut w = by_name("em3d", Scale::Tiny).expect("known app");
+    let (_, trace) = run_traced(config, &mut w);
+
+    let mut log_sm = ShardedMachine::with_pool(config, 4, forced_pool()).expect("valid config");
+    log_sm.set_parallel_threshold(64);
+    log_sm.set_engine(ExecEngine::Log);
+    log_sm.run_trace(&trace);
+    let mut barrier_sm = ShardedMachine::with_pool(config, 4, forced_pool()).expect("valid config");
+    barrier_sm.set_parallel_threshold(64);
+    barrier_sm.set_engine(ExecEngine::Barrier);
+    barrier_sm.run_trace(&trace);
+
+    let (log, barrier) = (log_sm.stats(), barrier_sm.stats());
+    assert!(log.arms_folded > 0, "em3d arms first-touch at least once");
+    assert_eq!(log.contained_ops, barrier.contained_ops);
+    assert_eq!(log.serialized_ops + log.arms_folded, barrier.serialized_ops);
+    assert_eq!(log.log_fences, log.serialized_ops);
+    let cursors = log_sm.span_cursors();
+    assert!(
+        cursors.iter().all(|&c| c == cursors[0] && c >= 1),
+        "shards must consume the whole log: {cursors:?}"
+    );
+    assert_eq!(log_sm.cursor_rollbacks().iter().sum::<u64>(), 0);
 }
 
 fn arb_protocol() -> impl Strategy<Value = Protocol> {
@@ -166,15 +213,15 @@ fn arb_protocol() -> impl Strategy<Value = Protocol> {
 }
 
 proptest! {
-    // 1/2/4 shards x {1,3,8} banks x both engines is 18 replays per
+    // 1/2/4 shards x {1,3,8} banks x three engines is 27 replays per
     // case; trimmed case count keeps the suite's wall-clock in line
     // with the barrier-only suite while still crossing every axis.
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Randomized reference streams — random CPUs, a small shared page
     /// pool (heavy cross-shard traffic), random read/write mix,
-    /// barriers — replay identically on both engines at 1, 2, and 4
-    /// shards under 1, 3, and 8 directory banks, on every protocol.
+    /// barriers — replay identically on all three engines at 1, 2, and
+    /// 4 shards under 1, 3, and 8 directory banks, on every protocol.
     #[test]
     fn random_streams_are_engine_and_bank_agnostic(
         protocol in arb_protocol(),
@@ -200,21 +247,29 @@ proptest! {
         let reference = serial.metrics();
         for shards in [1usize, 2, 4] {
             for banks in [1usize, 3, 8] {
-                for pipelined in [true, false] {
+                for engine in ENGINES {
                     let mut sm = ShardedMachine::with_pool(config, shards, forced_pool())
                         .expect("valid config");
                     sm.set_parallel_threshold(16);
                     sm.set_dir_shards(banks);
-                    sm.set_pipelined(pipelined);
+                    sm.set_engine(engine);
                     sm.run_trace(&ops);
                     prop_assert!(
                         reference.replay_eq(&sm.metrics()),
-                        "random stream diverged: pipelined={} shards={} banks={} on {}",
-                        pipelined,
+                        "random stream diverged: engine={} shards={} banks={} on {}",
+                        engine,
                         shards,
                         banks,
                         protocol
                     );
+                    if engine == ExecEngine::Log {
+                        let stats = sm.stats();
+                        prop_assert_eq!(
+                            (stats.scans_prefetched, stats.scans_invalidated),
+                            (0, 0),
+                            "log engine speculated a scan"
+                        );
+                    }
                 }
             }
         }

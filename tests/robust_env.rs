@@ -1,7 +1,8 @@
 //! Robustness environment plumbing: `RNUMA_FAULTS`,
 //! `RNUMA_WINDOW_DEADLINE_MS`, and `RNUMA_JOURNAL` parsing — plus the
 //! CLI contracts of the figure binaries (warn-once misconfiguration on
-//! stderr; one-line diagnostic and nonzero exit on emitter I/O
+//! stderr for `RNUMA_SHARDS`, `RNUMA_JOBS`, `RNUMA_EXEC`, and
+//! `RNUMA_FAULTS`; one-line diagnostic and nonzero exit on emitter I/O
 //! failure; fault plans never abort a figure run).
 //!
 //! The in-process tests mutate the environment, so they live in their
@@ -181,6 +182,56 @@ fn shard_misconfiguration_warns_once_and_completes() {
     assert!(out.status.success(), "fig5_pages failed; stderr: {stderr}");
     assert_eq!(
         stderr.matches("RNUMA_SHARDS").count(),
+        1,
+        "want exactly one warning; stderr was: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `RNUMA_JOBS=0` (the classic "disable it" guess) is a
+/// misconfiguration, not a request for serial execution: it warns
+/// exactly once per process on stderr — even though every parallel
+/// fan-out consults it — falls back to the documented default (the
+/// host's parallelism), and the figure still regenerates successfully.
+#[test]
+fn jobs_misconfiguration_warns_once_and_completes() {
+    let dir = temp_dir("jobs-warn-once");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig5_pages"))
+        .args(["--scale", "tiny"])
+        .env_clear()
+        .env("RNUMA_RESULTS_DIR", &dir)
+        .env("RNUMA_JOBS", "0")
+        .output()
+        .expect("spawn fig5_pages");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "fig5_pages failed; stderr: {stderr}");
+    assert_eq!(
+        stderr.matches("RNUMA_JOBS").count(),
+        1,
+        "want exactly one warning; stderr was: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An unknown `RNUMA_EXEC` engine name warns exactly once per process
+/// on stderr — even though every sharded machine consults the selector
+/// — falls back to the default engine resolution, and the figure still
+/// regenerates successfully.
+#[test]
+fn exec_misconfiguration_warns_once_and_completes() {
+    let dir = temp_dir("exec-warn-once");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig5_pages"))
+        .args(["--scale", "tiny"])
+        .env_clear()
+        .env("RNUMA_RESULTS_DIR", &dir)
+        .env("RNUMA_SHARDS", "2")
+        .env("RNUMA_EXEC", "banana")
+        .output()
+        .expect("spawn fig5_pages");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "fig5_pages failed; stderr: {stderr}");
+    assert_eq!(
+        stderr.matches("RNUMA_EXEC").count(),
         1,
         "want exactly one warning; stderr was: {stderr}"
     );

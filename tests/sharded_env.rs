@@ -1,15 +1,18 @@
-//! `RNUMA_SHARDS` plumbing: the environment variable routes every batch
-//! driver job (`run_parallel`, and therefore `rnuma_bench::run_grid`)
-//! through the self-checking sharded path.
+//! `RNUMA_SHARDS` plumbing — and the rest of the executor's env
+//! contract (`RNUMA_EXEC`, `RNUMA_PIPELINE`, `RNUMA_DIR_SHARDS`,
+//! `RNUMA_JOBS`): the environment variables route every batch driver
+//! job (`run_parallel`, and therefore `rnuma_bench::run_grid`) through
+//! the self-checking sharded path, and misconfigured values follow one
+//! warn-once-then-default contract.
 //!
 //! These tests mutate the process environment, so they live in their own
 //! integration-test binary (their own process) and run serially.
 
 use rnuma::config::{MachineConfig, Protocol};
-use rnuma::experiment::{run, run_env_sharded, run_parallel};
+use rnuma::experiment::{parallel_workers, run, run_env_sharded, run_parallel};
 use rnuma::shard::{
-    dir_shards_from_env, pipeline_from_env, shards_from_env, ShardedMachine, DEFAULT_DIR_SHARDS,
-    MAX_DIR_SHARDS,
+    dir_shards_from_env, engine_from_env, exec_from_env, pipeline_from_env, shards_from_env,
+    ExecEngine, ShardedMachine, DEFAULT_DIR_SHARDS, MAX_DIR_SHARDS,
 };
 use rnuma_bench::sweep_grid;
 use rnuma_workloads::{by_name, Scale};
@@ -88,6 +91,72 @@ fn rnuma_shards_routing() {
     }
     with_var("RNUMA_PIPELINE", Some("sideways"), || {
         assert!(pipeline_from_env());
+    });
+
+    // RNUMA_EXEC is the three-way engine selector and beats the legacy
+    // RNUMA_PIPELINE switch when both are set; with neither set the
+    // shared-log engine is the default. Garbage warns once and falls
+    // through to that resolution. A freshly built machine picks the
+    // choice up.
+    with_var("RNUMA_EXEC", None, || {
+        assert_eq!(exec_from_env(), None);
+        with_var("RNUMA_PIPELINE", None, || {
+            assert_eq!(engine_from_env(), ExecEngine::Log);
+            let sm = ShardedMachine::new(config, 2).expect("valid config");
+            assert_eq!(sm.engine(), ExecEngine::Log);
+        });
+        with_var("RNUMA_PIPELINE", Some("1"), || {
+            assert_eq!(engine_from_env(), ExecEngine::Pipeline);
+        });
+        with_var("RNUMA_PIPELINE", Some("0"), || {
+            assert_eq!(engine_from_env(), ExecEngine::Barrier);
+        });
+    });
+    for (spelling, engine) in [
+        ("log", ExecEngine::Log),
+        ("pipeline", ExecEngine::Pipeline),
+        ("pipelined", ExecEngine::Pipeline),
+        ("barrier", ExecEngine::Barrier),
+    ] {
+        with_var("RNUMA_EXEC", Some(spelling), || {
+            assert_eq!(exec_from_env(), Some(engine));
+            assert_eq!(engine_from_env(), engine);
+            let sm = ShardedMachine::new(config, 2).expect("valid config");
+            assert_eq!(sm.engine(), engine);
+        });
+    }
+    with_var("RNUMA_EXEC", Some("barrier"), || {
+        with_var("RNUMA_PIPELINE", Some("1"), || {
+            assert_eq!(
+                engine_from_env(),
+                ExecEngine::Barrier,
+                "RNUMA_EXEC beats the legacy switch"
+            );
+        });
+    });
+    with_var("RNUMA_EXEC", Some("sideways"), || {
+        assert_eq!(exec_from_env(), None, "garbage warns and selects nothing");
+    });
+
+    // RNUMA_JOBS follows the same warn-once misconfiguration contract
+    // as the other numeric knobs (the shared env_usize helper): unset
+    // means the host's parallelism, a valid count sticks (clamped to
+    // the job count), and zero or garbage warn once to stderr and fall
+    // back to the host default — never a silent coercion to serial.
+    // The one-warning-per-process stderr shape is pinned subprocess-
+    // style in tests/robust_env.rs.
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    with_jobs(None, || assert_eq!(parallel_workers(8), host.clamp(1, 8)));
+    with_jobs(Some("3"), || {
+        assert_eq!(parallel_workers(8), 3.clamp(1, 8));
+        assert_eq!(parallel_workers(2), 2, "workers never exceed the jobs");
+    });
+    with_jobs(Some("1"), || assert_eq!(parallel_workers(8), 1));
+    with_jobs(Some("0"), || {
+        assert_eq!(parallel_workers(8), host.clamp(1, 8), "0 is not serial");
+    });
+    with_jobs(Some("banana"), || {
+        assert_eq!(parallel_workers(8), host.clamp(1, 8));
     });
 
     // RNUMA_DIR_SHARDS banks the footprint directory: unset means the
