@@ -107,7 +107,7 @@ fn main() {
     // field-less baseline is a *disarmed* gate and fails the same way —
     // otherwise losing the committed file would turn the lane into a
     // permanent green no-op.
-    let gated = std::env::var_os("RNUMA_SWEEP_GATE").is_some();
+    let gated = rnuma::experiment::env_raw("RNUMA_SWEEP_GATE").is_some();
     let verdict = match sweep::committed_baseline() {
         Some(baseline) => sweep::gate_against(&lane, &baseline),
         None => Err("replay gate: committed baseline \

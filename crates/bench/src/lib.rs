@@ -79,8 +79,8 @@ fn die(context: &str, err: &std::io::Error) -> ! {
 /// the directory cannot be created.
 #[must_use]
 pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("RNUMA_RESULTS_DIR").map_or_else(
-        |_| {
+    let dir = rnuma::experiment::env_raw("RNUMA_RESULTS_DIR").map_or_else(
+        || {
             // crates/bench -> crates -> workspace root.
             std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
                 .ancestors()
@@ -122,7 +122,7 @@ pub fn save(name: &str, content: &str) {
 /// crash-recovery aid did.
 #[must_use]
 pub fn sweep_journal_from_env() -> Option<Journal> {
-    let val = std::env::var("RNUMA_JOURNAL").ok()?;
+    let val = rnuma::experiment::env_raw("RNUMA_JOURNAL")?;
     if val.is_empty() {
         return None;
     }
@@ -456,7 +456,7 @@ mod tests {
         // With no override, the directory is absolute, named
         // `results`, and sits next to the workspace manifest — never
         // relative to the process CWD.
-        if std::env::var_os("RNUMA_RESULTS_DIR").is_none() {
+        if rnuma::experiment::env_raw("RNUMA_RESULTS_DIR").is_none() {
             let dir = results_dir();
             assert!(dir.is_absolute());
             assert!(dir.ends_with("results"));

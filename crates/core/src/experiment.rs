@@ -297,6 +297,22 @@ pub fn env_usize(name: &str, default: Option<usize>, max: usize) -> Option<usize
     }
 }
 
+/// The raw string value of a *non-numeric* `RNUMA_*` knob, or `None`
+/// when unset (or not valid UTF-8).
+///
+/// This is the blessed escape hatch companion to [`env_usize`] for
+/// knobs whose values are names, paths, or switch words
+/// (`RNUMA_EXEC`, `RNUMA_TRACE_SPILL`, `RNUMA_JOURNAL`, …). Call sites
+/// still own their documented warn-once misconfiguration semantics —
+/// what this helper centralizes is the *access point*: `rnuma-lint`'s
+/// D03 lint rejects raw `std::env::var("RNUMA_…")` reads anywhere
+/// else, so the whole knob surface stays inventoried in this module
+/// (and cross-checked against README's env table by E01).
+#[must_use]
+pub fn env_raw(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
 /// One stderr warning per misconfigured variable per process. A
 /// per-name registry (rather than one `Once` per call site) keeps the
 /// contract uniform no matter how many call sites parse the same

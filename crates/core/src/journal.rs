@@ -112,7 +112,7 @@ impl Journal {
     /// run (slower, un-resumable) rather than abort.
     #[must_use]
     pub fn from_env() -> Option<Journal> {
-        let path = std::env::var("RNUMA_JOURNAL").ok()?;
+        let path = crate::experiment::env_raw("RNUMA_JOURNAL")?;
         if path.trim().is_empty() {
             return None;
         }

@@ -729,8 +729,17 @@ impl ShardPool {
             spawned: AtomicU64::new(0),
             jobs_executed,
         };
+        let mut live = 0usize;
         for _ in 0..workers {
-            pool.spawn_worker();
+            if pool.spawn_worker() {
+                live += 1;
+            }
+        }
+        if live == 0 {
+            // Every spawn failed: close the queue so submissions get a
+            // typed QueueClosed instead of parking jobs nobody will
+            // ever run, and coordinators degrade to inline execution.
+            pool.poison();
         }
         pool
     }
@@ -762,12 +771,26 @@ impl ShardPool {
         let rx = Arc::clone(intake);
         let counter = Arc::clone(&self.jobs_executed);
         let i = self.spawned.fetch_add(1, Ordering::Relaxed);
-        let handle = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name(format!("rnuma-shard-{i}"))
-            .spawn(move || worker_loop(&rx, &counter))
-            .expect("cannot spawn shard worker");
-        self.lock_workers().push(handle);
-        true
+            .spawn(move || worker_loop(&rx, &counter));
+        match spawned {
+            Ok(handle) => {
+                self.lock_workers().push(handle);
+                true
+            }
+            Err(err) => {
+                // Thread exhaustion is an environment fault, not a bug:
+                // report failure and let callers degrade (a window that
+                // cannot re-fan-out re-executes inline; a pool whose
+                // spawns all failed closes its queue in `new`).
+                static WARN: std::sync::Once = std::sync::Once::new();
+                WARN.call_once(|| {
+                    eprintln!("rnuma: cannot spawn shard worker: {err}; degrading");
+                });
+                false
+            }
+        }
     }
 
     fn lock_workers(&self) -> std::sync::MutexGuard<'_, Vec<std::thread::JoinHandle<()>>> {
@@ -2159,7 +2182,7 @@ pub fn dir_shards_from_env() -> Option<usize> {
 /// and the default (pipelined) applies.
 #[must_use]
 pub fn pipeline_from_env() -> bool {
-    let Ok(raw) = std::env::var("RNUMA_PIPELINE") else {
+    let Some(raw) = crate::experiment::env_raw("RNUMA_PIPELINE") else {
         return true;
     };
     match raw.as_str() {
@@ -2187,7 +2210,7 @@ pub fn pipeline_from_env() -> bool {
 /// mirroring the other `RNUMA_*` contracts.
 #[must_use]
 pub fn exec_from_env() -> Option<ExecEngine> {
-    let raw = std::env::var("RNUMA_EXEC").ok()?;
+    let raw = crate::experiment::env_raw("RNUMA_EXEC")?;
     match raw.as_str() {
         "log" => Some(ExecEngine::Log),
         "pipeline" | "pipelined" => Some(ExecEngine::Pipeline),
@@ -2214,7 +2237,7 @@ pub fn engine_from_env() -> ExecEngine {
     if let Some(engine) = exec_from_env() {
         return engine;
     }
-    if std::env::var_os("RNUMA_PIPELINE").is_some() {
+    if crate::experiment::env_raw("RNUMA_PIPELINE").is_some() {
         if pipeline_from_env() {
             ExecEngine::Pipeline
         } else {

@@ -481,7 +481,7 @@ fn spill_file(dir: &std::path::Path) -> Option<(std::fs::File, std::path::PathBu
 /// or `0` means off; `1` means the system temp directory; anything else
 /// is the directory itself.
 pub(crate) fn spill_dir_from_env() -> Option<std::path::PathBuf> {
-    let v = std::env::var("RNUMA_TRACE_SPILL").ok()?;
+    let v = crate::experiment::env_raw("RNUMA_TRACE_SPILL")?;
     let v = v.trim();
     match v {
         "" | "0" => None,

@@ -11,7 +11,7 @@
 //! home.
 
 use rnuma_mem::addr::{NodeId, VPage};
-use std::collections::HashMap;
+use rnuma_mem::fxmap::FxMap;
 
 /// Where each shared virtual page lives, and how it got there.
 #[derive(Clone, Debug)]
@@ -19,7 +19,7 @@ pub struct PageManager {
     nodes: u8,
     /// Armed by the workload at the start of its parallel phase.
     first_touch_armed: bool,
-    homes: HashMap<VPage, NodeId>,
+    homes: FxMap<VPage, NodeId>,
     /// Pages whose home was fixed by first touch (vs. static allocation).
     first_touched: u64,
     next_rr: u8,
@@ -37,7 +37,7 @@ impl PageManager {
         PageManager {
             nodes,
             first_touch_armed: false,
-            homes: HashMap::new(),
+            homes: FxMap::new(),
             first_touched: 0,
             next_rr: 0,
         }
@@ -74,23 +74,20 @@ impl PageManager {
     /// The home of `page` as seen by `toucher`'s reference, fixing it by
     /// first touch when armed and not yet fixed.
     pub fn home_on_touch(&mut self, page: VPage, toucher: NodeId) -> NodeId {
-        if self.first_touch_armed {
-            if let Some(&h) = self.homes.get(&page) {
-                h
-            } else {
-                self.homes.insert(page, toucher);
-                self.first_touched += 1;
-                toucher
-            }
-        } else {
-            *self.homes.entry(page).or_insert(toucher)
+        if let Some(&h) = self.homes.get(page) {
+            return h;
         }
+        self.homes.insert(page, toucher);
+        if self.first_touch_armed {
+            self.first_touched += 1;
+        }
+        toucher
     }
 
     /// The home of `page`, if fixed.
     #[must_use]
     pub fn home_of(&self, page: VPage) -> Option<NodeId> {
-        self.homes.get(&page).copied()
+        self.homes.get(page).copied()
     }
 
     /// Number of pages homed by first touch.

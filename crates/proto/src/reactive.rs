@@ -7,7 +7,7 @@
 //! relocation threshold `T` on every capacity/conflict refetch.
 
 use rnuma_mem::addr::VPage;
-use std::collections::HashMap;
+use rnuma_mem::fxmap::FxMap;
 
 /// Per-node, per-page refetch counters with a relocation threshold.
 ///
@@ -25,7 +25,7 @@ use std::collections::HashMap;
 #[derive(Clone, Debug)]
 pub struct RefetchCounters {
     threshold: u32,
-    counts: HashMap<VPage, u32>,
+    counts: FxMap<VPage, u32>,
     interrupts: u64,
     total_refetches: u64,
 }
@@ -44,7 +44,7 @@ impl RefetchCounters {
         assert!(threshold > 0, "relocation threshold must be at least 1");
         RefetchCounters {
             threshold,
-            counts: HashMap::new(),
+            counts: FxMap::new(),
             interrupts: 0,
             total_refetches: 0,
         }
@@ -61,10 +61,10 @@ impl RefetchCounters {
     /// and the counter resets (the page is about to leave CC-NUMA mode).
     pub fn record(&mut self, page: VPage) -> bool {
         self.total_refetches += 1;
-        let count = self.counts.entry(page).or_insert(0);
+        let count = self.counts.entry_or_default(page);
         *count = count.saturating_add(1);
         if *count >= self.threshold {
-            self.counts.remove(&page);
+            self.counts.remove(page);
             self.interrupts += 1;
             true
         } else {
@@ -75,13 +75,13 @@ impl RefetchCounters {
     /// Current count for `page` (0 when never refetched).
     #[must_use]
     pub fn count(&self, page: VPage) -> u32 {
-        self.counts.get(&page).copied().unwrap_or(0)
+        self.counts.get(page).copied().unwrap_or(0)
     }
 
     /// Clears the counter for `page` (page replaced or relocated by
     /// other means; its history no longer applies).
     pub fn reset(&mut self, page: VPage) {
-        self.counts.remove(&page);
+        self.counts.remove(page);
     }
 
     /// Number of relocation interrupts raised.

@@ -11,6 +11,9 @@
 //! samples is reported (the minimum is the standard low-noise estimator
 //! for micro-benchmarks). No statistics, plots, or baselines.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use std::hint::black_box;
 use std::time::Instant;
 

@@ -11,6 +11,9 @@
 //! trades proptest's shrinking and persistence for hermetic builds; the
 //! assertion semantics are unchanged.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 /// Deterministic sampling stream handed to strategies.
 #[derive(Clone, Debug)]
 pub struct TestRng {

@@ -235,6 +235,7 @@ impl FaultPlan {
     /// must not abort a run, matching `RNUMA_SHARDS` semantics).
     #[must_use]
     pub fn from_env() -> Option<FaultPlan> {
+        // lint: allow(D03, rnuma-sim sits below rnuma-core in the dependency graph, so the blessed experiment.rs helpers are unreachable; from_env implements the same warn-once contract locally and is pinned by tests/robust_env.rs)
         let spec = std::env::var("RNUMA_FAULTS").ok()?;
         if spec.trim().is_empty() {
             return None;

@@ -1,0 +1,38 @@
+//! The acceptance drill: `rnuma-lint --check` exits 0 on the real
+//! workspace. Any lint violation introduced anywhere in `crates/`,
+//! `tests/`, or `examples/` fails this test (and the CI lane) with a
+//! `file:line` diagnostic.
+
+use std::process::Command;
+
+#[test]
+fn the_real_workspace_is_lint_clean() {
+    // tools/lint -> tools -> workspace root.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate lives two levels below the workspace root");
+    let out = Command::new(env!("CARGO_BIN_EXE_rnuma-lint"))
+        .arg("--check")
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("run rnuma-lint");
+    assert!(
+        out.status.success(),
+        "rnuma-lint --check found violations:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // JSON mode agrees and is well-formed enough to machine-read.
+    let out = Command::new(env!("CARGO_BIN_EXE_rnuma-lint"))
+        .args(["--check", "--format", "json", "--root"])
+        .arg(root)
+        .output()
+        .expect("run rnuma-lint --format json");
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.starts_with("{\"ok\":true"), "{json}");
+    assert!(json.contains("\"findings\":[]"), "{json}");
+}
